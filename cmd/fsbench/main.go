@@ -1,0 +1,88 @@
+// Command fsbench regenerates the paper's evaluation figures (Section 4):
+//
+//	fsbench -exp fig6            # ordering latency vs group size (2..10)
+//	fsbench -exp fig7            # throughput vs group size (2..15)
+//	fsbench -exp fig8            # throughput vs message size (10 members)
+//	fsbench -exp all -msgs 1000  # the paper's full message count
+//
+// Each experiment runs both NewTOP (crash-tolerant baseline) and
+// FS-NewTOP (Byzantine-tolerant extension) over the same simulated fabric
+// and prints the paper's series side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fsnewtop/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig6, fig7, fig8 or all")
+		msgs     = flag.Int("msgs", 100, "messages per member (paper: 1000)")
+		interval = flag.Duration("interval", 2*time.Millisecond, "inter-send interval per member")
+		pool     = flag.Int("pool", 0, "ORB request pool size (0 = paper default 10)")
+		rsa      = flag.Bool("rsa", false, "sign FS outputs with MD5-and-RSA (the paper's scheme) instead of HMAC")
+		members  = flag.String("members", "", "comma-separated group sizes override (fig6/fig7)")
+		sizes    = flag.String("sizes", "", "comma-separated message sizes override in bytes (fig8)")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		seed     = flag.Int64("seed", 1, "network randomness seed")
+	)
+	flag.Parse()
+
+	base := bench.Options{
+		MsgsPerMember: *msgs,
+		SendInterval:  *interval,
+		PoolSize:      *pool,
+		RSA:           *rsa,
+		Timeout:       *timeout,
+		Seed:          *seed,
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig6":
+			fmt.Print(bench.FormatFig6(bench.RunFig6(base, parseInts(*members))))
+		case "fig7":
+			fmt.Print(bench.FormatFig7(bench.RunFig7(base, parseInts(*members))))
+		case "fig8":
+			fmt.Print(bench.FormatFig8(bench.RunFig8(base, parseInts(*sizes))))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8 or all)\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v\n\n", *msgs, *interval, *pool, *rsa)
+	if *exp == "all" {
+		for _, name := range []string{"fig6", "fig7", "fig8"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+// parseInts parses "2,4,8"; nil on empty (selects the experiment default).
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

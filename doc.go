@@ -1,0 +1,29 @@
+// Package fsnewtop is a from-scratch Go reproduction of "From Crash
+// Tolerance to Authenticated Byzantine Tolerance: A Structured Approach,
+// the Cost and Benefits" (Mpoeleng, Ezhilchelvan, Speirs — DSN 2003).
+//
+// The repository implements the complete system stack the paper describes:
+//
+//   - internal/core — the fail-signal process construction (the primary
+//     contribution): deterministic state machines replicated as
+//     self-checking leader/follower pairs whose only failure behaviour is
+//     emitting a uniquely attributable, double-signed fail-signal;
+//   - internal/group — the NewTOP group-communication service: unreliable,
+//     reliable, causal, symmetric-total-order and asymmetric-total-order
+//     multicast with partitionable membership and pluggable suspectors;
+//   - internal/newtop — the crash-tolerant NewTOP middleware (the paper's
+//     baseline), assembled over a CORBA-like ORB substrate (internal/orb);
+//   - internal/fsnewtop — FS-NewTOP: the same GC machine wrapped into
+//     fail-signal pairs via ORB interceptors, with a suspector that turns
+//     verified fail-signals into suspicions that cannot be false;
+//   - internal/vote — 2f+1 application replication with client-side
+//     majority voting (the paper's Figure 4 deployment);
+//   - internal/bftbase — a 3f+1 authenticated-BFT baseline for the cost
+//     comparison the introduction draws;
+//   - internal/bench — the harness regenerating Figures 6, 7 and 8.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each figure's series; cmd/fsbench
+// prints full tables.
+package fsnewtop

@@ -1,0 +1,153 @@
+// Failover contrast: the paper's two failure-handling worlds side by side.
+//
+// Act 1 (crash-tolerant NewTOP): two members lose contact — nobody fails —
+// and the timeout suspector splits the live group into disjoint views.
+//
+// Act 2 (FS-NewTOP): a replica node really fails; the pair emits its
+// fail-signal; the survivors install one agreed view and keep ordering;
+// no amount of message delay alone can make them reconfigure.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/fsnewtop"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/orb"
+)
+
+func main() {
+	actOne()
+	fmt.Println()
+	actTwo()
+}
+
+// actOne shows the false-suspicion split in the crash-tolerant system.
+func actOne() {
+	fmt.Println("ACT 1 — crash NewTOP: message loss between live members")
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
+		Latency: netsim.Fixed(200 * time.Microsecond),
+	}))
+	defer net.Close()
+	naming := orb.NewNaming()
+	members := []string{"n1", "n2", "n3"}
+	views := make(chan string, 64)
+	for _, name := range members {
+		name := name
+		svc, err := newtop.New(newtop.Config{
+			Name: name, Net: net, Naming: naming, Clock: clock.NewReal(),
+			GC: group.Config{
+				PingInterval: 20 * time.Millisecond,
+				SuspectAfter: 150 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		if err := svc.Join("g", members); err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for {
+				select {
+				case <-svc.Deliveries():
+				case v := <-svc.Views():
+					views <- fmt.Sprintf("  %s installed view %d: %v", name, v.ViewID, v.Members)
+				}
+			}
+		}()
+	}
+	drainFor(views, 400*time.Millisecond)
+	fmt.Println("  -- blocking the n1<->n2 link; n1 and n2 are both alive --")
+	net.Block(newtop.NodeAddr("n1"), newtop.NodeAddr("n2"))
+	drainFor(views, 3*time.Second)
+	fmt.Println("  => the group split although no process failed (false suspicion)")
+}
+
+// actTwo shows fail-signal-driven reconfiguration in FS-NewTOP.
+func actTwo() {
+	fmt.Println("ACT 2 — FS-NewTOP: a real node failure, and mere delay for contrast")
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
+		Latency: netsim.Fixed(200 * time.Microsecond),
+	}))
+	defer net.Close()
+	fabric := fsnewtop.NewFabric(net, clock.NewReal())
+	members := []string{"n1", "n2", "n3"}
+	services := make(map[string]*fsnewtop.NSO)
+	views := make(chan string, 64)
+	for _, name := range members {
+		name := name
+		var peers []string
+		for _, p := range members {
+			if p != name {
+				peers = append(peers, p)
+			}
+		}
+		svc, err := fsnewtop.New(fsnewtop.Config{
+			Name: name, Fabric: fabric, Peers: peers,
+			Delta: 150 * time.Millisecond,
+			GC:    group.Config{ViewRetryAfter: 100 * time.Millisecond},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		services[name] = svc
+		if err := svc.Join("g", members); err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			for {
+				select {
+				case <-svc.Deliveries():
+				case v := <-svc.Views():
+					views <- fmt.Sprintf("  %s installed view %d: %v", name, v.ViewID, v.Members)
+				case src := <-svc.FailSignals():
+					views <- fmt.Sprintf("  %s received a fail-signal from %s", name, src)
+				}
+			}
+		}()
+	}
+	drainFor(views, 400*time.Millisecond)
+
+	fmt.Println("  -- slowing the n1<->n2 inter-pair links to 100ms (no failure) --")
+	for _, a := range []netsim.Addr{"n1#L", "n1#F"} {
+		for _, b := range []netsim.Addr{"n2#L", "n2#F"} {
+			net.SetLinkProfile(a, b, netsim.Profile{Latency: netsim.Fixed(100 * time.Millisecond)})
+		}
+	}
+	if err := services["n1"].Multicast("g", group.TotalSym, []byte("slow but safe")); err != nil {
+		log.Fatal(err)
+	}
+	drainFor(views, 1500*time.Millisecond)
+	fmt.Println("  => no reconfiguration: delay alone cannot trigger a (sure) suspicion")
+
+	fmt.Println("  -- crashing n3's follower node for real --")
+	services["n3"].Pair().Follower.Crash()
+	if err := services["n1"].Multicast("g", group.TotalSym, []byte("trigger output comparison")); err != nil {
+		log.Fatal(err)
+	}
+	drainFor(views, 10*time.Second)
+	fmt.Println("  => one agreed new view, driven by the verified fail-signal")
+}
+
+// drainFor prints queued view events for a while.
+func drainFor(ch <-chan string, d time.Duration) {
+	deadline := time.After(d)
+	for {
+		select {
+		case s := <-ch:
+			fmt.Println(s)
+		case <-deadline:
+			return
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Replicated bank: the full Figure 4 stack. A bank account service is
+// replicated 2f+1 = 3 ways over FS-NewTOP's totally-ordered multicast; a
+// client multicasts requests to the replica group and majority-votes the
+// replies. One replica is Byzantine at the application level — it returns
+// corrupted balances — and the vote masks it.
+//
+// Run with: go run ./examples/replicated-bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/faults"
+	"fsnewtop/internal/fsnewtop"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/vote"
+)
+
+// bank is the deterministic application state machine: "deposit acct amt",
+// "withdraw acct amt", "balance acct".
+func bank() vote.AppMachine {
+	accounts := make(map[string]int)
+	return vote.AppMachineFunc(func(req []byte) []byte {
+		fields := strings.Fields(string(req))
+		if len(fields) < 2 {
+			return []byte("err: bad request")
+		}
+		op, acct := fields[0], fields[1]
+		amt := 0
+		if len(fields) > 2 {
+			fmt.Sscanf(fields[2], "%d", &amt)
+		}
+		switch op {
+		case "deposit":
+			accounts[acct] += amt
+		case "withdraw":
+			if accounts[acct] < amt {
+				return []byte("err: insufficient funds")
+			}
+			accounts[acct] -= amt
+		case "balance":
+			// fallthrough to the balance report
+		default:
+			return []byte("err: unknown op")
+		}
+		return []byte(fmt.Sprintf("%s=%d", acct, accounts[acct]))
+	})
+}
+
+func main() {
+	const f = 1 // tolerate one Byzantine application replica
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
+		Latency: netsim.Fixed(200 * time.Microsecond),
+	}))
+	defer net.Close()
+	fabric := fsnewtop.NewFabric(net, clock.NewReal())
+
+	// Group = 2f+1 replicas + the client (which multicasts but does not
+	// apply requests).
+	members := []string{"client", "replica-0", "replica-1", "replica-2"}
+	services := make(map[string]newtop.Service)
+	for _, name := range members {
+		var peers []string
+		for _, p := range members {
+			if p != name {
+				peers = append(peers, p)
+			}
+		}
+		svc, err := fsnewtop.New(fsnewtop.Config{
+			Name: name, Fabric: fabric, Peers: peers,
+			Delta: 100 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		services[name] = svc
+	}
+	for _, name := range members {
+		if err := services[name].Join("bank", members); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// replica-1 is Byzantine: it corrupts every reply after the first.
+	honest0, honest2 := bank(), bank()
+	liarInner := bank()
+	apps := map[string]vote.AppMachine{
+		"replica-0": honest0,
+		"replica-1": &faults.LyingApp{Inner: liarInner.Apply, After: 1},
+		"replica-2": honest2,
+	}
+	for name, app := range apps {
+		r := vote.NewReplica(name, "bank", services[name], app, net)
+		defer r.Close()
+	}
+	voter := vote.NewVoter("client", "bank", f, services["client"], net)
+	defer voter.Close()
+
+	requests := []string{
+		"deposit alice 100",
+		"deposit bob 50",
+		"withdraw alice 30",
+		"balance alice 0",
+		"withdraw bob 60", // must fail deterministically at every replica
+		"balance bob 0",
+	}
+	for _, req := range requests {
+		result, err := voter.Submit([]byte(req), 30*time.Second)
+		if err != nil {
+			log.Fatalf("request %q: %v", req, err)
+		}
+		fmt.Printf("%-22s -> %s\n", req, result)
+	}
+	fmt.Println("all results are f+1-majority answers; replica-1's lies were outvoted")
+}

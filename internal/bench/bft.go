@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fsnewtop/internal/bftbase"
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/metrics"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/sig"
+)
+
+// BFTOptions parameterises the traditional-BFT baseline run (the
+// related-work comparison of Section 1: 3f+1 replicas, one extra round,
+// liveness-condition-based termination).
+type BFTOptions struct {
+	// F is the fault bound; the replica set is 3f+1.
+	F int
+	// Requests is the number of client requests to order.
+	Requests int
+	// Interval paces the client.
+	Interval time.Duration
+	// NetLatency is the replica-to-replica latency.
+	NetLatency time.Duration
+	// Timeout bounds the run.
+	Timeout time.Duration
+}
+
+// BFTResult reports the baseline's cost figures.
+type BFTResult struct {
+	F          int
+	Replicas   int
+	Latency    metrics.Summary // request → f+1 matching executions
+	Throughput float64         // committed requests per second
+	// MessagesPerRequest is the fabric traffic divided by requests:
+	// the "extra round" cost made concrete.
+	MessagesPerRequest float64
+}
+
+// RunBFT measures the authenticated-BFT baseline under a single client.
+func RunBFT(opts BFTOptions) (BFTResult, error) {
+	if opts.F == 0 {
+		opts.F = 1
+	}
+	if opts.Requests == 0 {
+		opts.Requests = 50
+	}
+	if opts.Interval == 0 {
+		opts.Interval = 2 * time.Millisecond
+	}
+	if opts.NetLatency == 0 {
+		opts.NetLatency = 200 * time.Microsecond
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = time.Minute
+	}
+	n := 3*opts.F + 1
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
+		Latency: netsim.Fixed(opts.NetLatency),
+	}))
+	defer net.Close()
+	keys := sig.NewDirectory()
+
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%02d", i)
+	}
+	replicas := make([]*bftbase.Replica, 0, n)
+	for _, name := range names {
+		signer := sig.NewHMACSigner(sig.ID(name), []byte("k:"+name))
+		if err := keys.RegisterSigner(signer); err != nil {
+			return BFTResult{}, err
+		}
+		r, err := bftbase.NewReplica(bftbase.Config{
+			Self:        name,
+			Replicas:    names,
+			F:           opts.F,
+			Net:         net,
+			Clock:       clock.NewReal(),
+			Keys:        keys,
+			Signer:      signer,
+			ViewTimeout: 10 * time.Second, // failure-free measurement run
+		})
+		if err != nil {
+			return BFTResult{}, err
+		}
+		replicas = append(replicas, r)
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Close()
+		}
+	}()
+
+	clientSigner := sig.NewHMACSigner("bench-client", []byte("k:client"))
+	if err := keys.RegisterSigner(clientSigner); err != nil {
+		return BFTResult{}, err
+	}
+	client := bftbase.NewClient("bench-client", opts.F, names, net, clientSigner)
+
+	var lat metrics.Histogram
+	start := time.Now()
+	for i := 0; i < opts.Requests; i++ {
+		t0 := time.Now()
+		if _, err := client.Submit([]byte(fmt.Sprintf("req%d", i)), opts.Timeout); err != nil {
+			return BFTResult{}, err
+		}
+		lat.Record(time.Since(t0))
+		if opts.Interval > 0 {
+			time.Sleep(opts.Interval)
+		}
+	}
+	elapsed := time.Since(start)
+	stats := net.Stats()
+	return BFTResult{
+		F:                  opts.F,
+		Replicas:           n,
+		Latency:            lat.Snapshot(),
+		Throughput:         float64(opts.Requests) / elapsed.Seconds(),
+		MessagesPerRequest: float64(stats.Sent) / float64(opts.Requests),
+	}, nil
+}

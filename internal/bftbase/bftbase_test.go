@@ -1,0 +1,219 @@
+package bftbase
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/sig"
+)
+
+type harness struct {
+	net      *netsim.Network
+	keys     *sig.Directory
+	names    []string
+	replicas map[string]*Replica
+	client   *Client
+
+	mu       sync.Mutex
+	executed map[string][]string // replica → executed request bodies in order
+}
+
+func newHarness(t *testing.T, f int, timeout time.Duration) *harness {
+	t.Helper()
+	h := &harness{
+		net:      netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)})),
+		keys:     sig.NewDirectory(),
+		replicas: make(map[string]*Replica),
+		executed: make(map[string][]string),
+	}
+	t.Cleanup(h.net.Close)
+	n := 3*f + 1
+	for i := 0; i < n; i++ {
+		h.names = append(h.names, fmt.Sprintf("b%d", i))
+	}
+	for _, name := range h.names {
+		name := name
+		signer := sig.NewHMACSigner(sig.ID(name), []byte("k:"+name))
+		if err := h.keys.RegisterSigner(signer); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReplica(Config{
+			Self:        name,
+			Replicas:    h.names,
+			F:           f,
+			Net:         h.net,
+			Clock:       clock.NewReal(),
+			Keys:        h.keys,
+			Signer:      signer,
+			ViewTimeout: timeout,
+			OnDeliver: func(seq uint64, req Request) {
+				h.mu.Lock()
+				h.executed[name] = append(h.executed[name], string(req.Body))
+				h.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.replicas[name] = r
+		t.Cleanup(r.Close)
+	}
+	cs := sig.NewHMACSigner("cli", []byte("k:cli"))
+	if err := h.keys.RegisterSigner(cs); err != nil {
+		t.Fatal(err)
+	}
+	h.client = NewClient("cli", f, h.names, h.net, cs)
+	return h
+}
+
+func (h *harness) executedAt(name string) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.executed[name]...)
+}
+
+func TestBFTHappyPathAgreement(t *testing.T) {
+	h := newHarness(t, 1, 2*time.Second)
+	for i := 0; i < 5; i++ {
+		seq, err := h.client.Submit([]byte(fmt.Sprintf("req%d", i)), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("request %d got seq %d", i, seq)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	want := []string{"req0", "req1", "req2", "req3", "req4"}
+	for _, n := range h.names {
+		for {
+			got := h.executedAt(n)
+			if reflect.DeepEqual(got, want) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s executed %v, want %v", n, got, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestBFTPrimaryCrashTriggersViewChange(t *testing.T) {
+	h := newHarness(t, 1, 100*time.Millisecond)
+	// Warm up: one request through view 0.
+	if _, err := h.client.Submit([]byte("warm"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary of view 0 (lowest name).
+	h.replicas[h.names[0]].Close()
+	// The next request must still commit, via view change.
+	if _, err := h.client.Submit([]byte("after-crash"), 20*time.Second); err != nil {
+		t.Fatalf("no progress after primary crash: %v", err)
+	}
+	// Survivors agree on the suffix.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, n := range h.names[1:] {
+		for {
+			got := h.executedAt(n)
+			if len(got) == 2 && got[1] == "after-crash" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s executed %v", n, got)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if v := h.replicas[h.names[1]].View(); v == 0 {
+		t.Fatal("view did not advance after primary crash")
+	}
+}
+
+func TestBFTRejectsUnsignedTraffic(t *testing.T) {
+	h := newHarness(t, 1, time.Second)
+	h.net.Register("attacker", func(netsim.Message) {})
+	// Garbage and unsigned requests must be ignored, not crash anything.
+	_ = h.net.Send("attacker", Addr(h.names[0]), MsgRequest, []byte("garbage"))
+	_ = h.net.Send("attacker", Addr(h.names[0]), MsgPrePrepare, []byte{1, 2, 3})
+	req := Request{Client: "mallory", ID: 1, Body: []byte("evil")}
+	mallory := sig.NewHMACSigner("mallory", []byte("mk")) // unregistered key
+	env, _ := sig.SignEnvelope(mallory, req.Marshal())
+	_ = h.net.Send("attacker", Addr(h.names[0]), MsgRequest, env.Marshal())
+	time.Sleep(50 * time.Millisecond)
+	for _, n := range h.names {
+		if got := h.executedAt(n); len(got) != 0 {
+			t.Fatalf("%s executed unsigned traffic: %v", n, got)
+		}
+	}
+}
+
+func TestBFTByzantineBackupCannotDisrupt(t *testing.T) {
+	h := newHarness(t, 1, 2*time.Second)
+	// A Byzantine backup floods bogus prepares/commits for a fake digest.
+	evil := h.names[3]
+	evilSigner := sig.NewHMACSigner(sig.ID(evil+"x"), []byte("ek"))
+	_ = h.keys.RegisterSigner(evilSigner)
+	var fake [32]byte
+	fake[0] = 0xEE
+	pm := phaseMsg{View: 0, Seq: 0, Digest: fake}
+	env, _ := sig.SignEnvelope(evilSigner, pm.marshal())
+	h.net.Register("evil-net", func(netsim.Message) {})
+	for _, n := range h.names {
+		_ = h.net.Send("evil-net", Addr(n), MsgPrepare, env.Marshal())
+		_ = h.net.Send("evil-net", Addr(n), MsgCommit, env.Marshal())
+	}
+	// Agreement proceeds regardless.
+	if _, err := h.client.Submit([]byte("solid"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFTWireRoundTrips(t *testing.T) {
+	req := Request{Client: "c", ID: 3, Body: []byte("b")}
+	gotReq, err := UnmarshalRequest(req.Marshal())
+	if err != nil || gotReq.Client != "c" || gotReq.ID != 3 || string(gotReq.Body) != "b" {
+		t.Fatalf("request: %+v %v", gotReq, err)
+	}
+	pm := phaseMsg{View: 1, Seq: 2, Req: []byte("r")}
+	pm.Digest[5] = 9
+	gotPM, err := unmarshalPhaseMsg(pm.marshal())
+	if err != nil || gotPM.View != 1 || gotPM.Seq != 2 || gotPM.Digest != pm.Digest || string(gotPM.Req) != "r" {
+		t.Fatalf("phase: %+v %v", gotPM, err)
+	}
+	vc := viewChangeMsg{NewView: 4, LastExec: 2, Pending: [][]byte{{1}, {2, 3}}}
+	gotVC, err := unmarshalViewChangeMsg(vc.marshal())
+	if err != nil || gotVC.NewView != 4 || gotVC.LastExec != 2 || len(gotVC.Pending) != 2 {
+		t.Fatalf("viewchange: %+v %v", gotVC, err)
+	}
+	rep := Reply{Client: "c", ID: 1, Seq: 9, Replica: "r"}
+	gotRep, err := UnmarshalReply(rep.Marshal())
+	if err != nil || gotRep != rep {
+		t.Fatalf("reply: %+v %v", gotRep, err)
+	}
+	for _, garbage := range [][]byte{{1}, nil} {
+		if _, err := UnmarshalRequest(garbage); err == nil {
+			t.Fatal("garbage request decoded")
+		}
+		if _, err := unmarshalPhaseMsg(garbage); err == nil {
+			t.Fatal("garbage phase decoded")
+		}
+		if _, err := UnmarshalReply(garbage); err == nil {
+			t.Fatal("garbage reply decoded")
+		}
+	}
+}
+
+func TestBFTConfigValidation(t *testing.T) {
+	if _, err := NewReplica(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewReplica(Config{Self: "x", F: 1, Replicas: []string{"x", "y"}}); err == nil {
+		t.Fatal("too-few replicas accepted")
+	}
+}

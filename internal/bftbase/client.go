@@ -1,0 +1,111 @@
+package bftbase
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/sig"
+)
+
+// Client submits signed requests to all replicas and waits for f+1
+// matching execution replies.
+type Client struct {
+	name     string
+	f        int
+	replicas []string
+	net      *netsim.Network
+	signer   sig.Signer
+	addr     netsim.Addr
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*waiting
+}
+
+type waiting struct {
+	replies map[string]uint64 // replica → seq
+	decided chan uint64
+	f       int
+}
+
+// NewClient registers a BFT client endpoint.
+func NewClient(name string, f int, replicas []string, net *netsim.Network, signer sig.Signer) *Client {
+	c := &Client{
+		name:     name,
+		f:        f,
+		replicas: append([]string(nil), replicas...),
+		net:      net,
+		signer:   signer,
+		addr:     netsim.Addr("bftclient:" + name),
+		pending:  make(map[uint64]*waiting),
+	}
+	net.Register(c.addr, c.onMessage)
+	return c
+}
+
+func (c *Client) onMessage(msg netsim.Message) {
+	if msg.Kind != MsgReply {
+		return
+	}
+	rep, err := UnmarshalReply(msg.Payload)
+	if err != nil || rep.Client != c.name {
+		return
+	}
+	c.mu.Lock()
+	w, ok := c.pending[rep.ID]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	w.replies[rep.Replica] = rep.Seq
+	// f+1 replies with the same sequence pin the result.
+	counts := make(map[uint64]int)
+	for _, seq := range w.replies {
+		counts[seq]++
+		if counts[seq] >= w.f+1 {
+			delete(c.pending, rep.ID)
+			c.mu.Unlock()
+			w.decided <- seq
+			return
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Submit sends one request and waits for f+1 matching executions,
+// returning the agreed sequence number.
+func (c *Client) Submit(body []byte, timeout time.Duration) (uint64, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	w := &waiting{replies: make(map[string]uint64), decided: make(chan uint64, 1), f: c.f}
+	c.pending[id] = w
+	c.mu.Unlock()
+
+	req := Request{Client: c.name, ID: id, Body: body}
+	env, err := sig.SignEnvelope(c.signer, req.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	raw := env.Marshal()
+	sent := 0
+	for _, r := range c.replicas {
+		if err := c.net.Send(c.addr, Addr(r), MsgRequest, raw); err == nil {
+			sent++
+		}
+	}
+	if sent == 0 {
+		return 0, fmt.Errorf("bftbase: request %d: no replica reachable", id)
+	}
+	select {
+	case seq := <-w.decided:
+		return seq, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return 0, fmt.Errorf("bftbase: request %d: no f+1 quorum within %v", id, timeout)
+	}
+}

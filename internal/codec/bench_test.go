@@ -1,0 +1,26 @@
+package codec
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkWriterRoundTrip(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(300)
+		w.String("gc.data")
+		w.U64(uint64(i))
+		w.Time(time.Unix(0, int64(i)))
+		w.Bytes32(payload)
+		r := NewReader(w.Bytes())
+		_ = r.String()
+		_ = r.U64()
+		_ = r.Time()
+		_ = r.Bytes32()
+		if err := r.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package failsignal implements the paper's primary contribution: the
+// construction of fail-signal (FS) processes out of self-checking replica
+// pairs (Sections 2.1, 2.2 and Appendix A).
+//
+// A deterministic state machine p (requirement R1, see package sm) is
+// replicated as a pair {p, p'} hosted on two nodes joined by a synchronous
+// link with delivery bound δ (assumption A2). Each node runs a Fail-Signal
+// wrapper Object (FSO) around its replica:
+//
+//   - the Order role ensures both replicas consume inputs in an identical
+//     order — one FSO is fixed as the Leader, the other as the Follower;
+//     the leader decides the order and forwards every input over the sync
+//     link, while the follower checks that everything it receives directly
+//     is eventually ordered by the leader (pools IRMP, timeouts t1 and t2);
+//   - the Compare role checks that the replicas produce identical outputs:
+//     each output is single-signed and exchanged (pools ICMP/ECMP); a match
+//     is counter-signed, yielding the double-signed message that is the
+//     only valid output form of an FS process.
+//
+// When comparison fails or times out — deadline 2δ + κ·π + σ·τ at the
+// leader and δ + κ·π + σ·τ at the follower, where π is the processing time
+// and τ the sign-and-forward time (Section 2.2, κ = σ = 2) — the Compare
+// thread counter-signs the fail-signal envelope its counterpart pre-signed
+// at start-up and emits it to every entity expecting a response. The
+// resulting failure semantics are exactly fs1/fs2: a faulty FS process
+// only ever outputs its own uniquely attributable fail-signal.
+//
+// Because a received fail-signal is a *sure* indication of a fault at the
+// signalling process (Remark 2), a middleware built from FS processes can
+// detect failures without timeouts, which removes the FLP liveness
+// obstacle for the total-order service built on top (package group).
+package failsignal

@@ -1,0 +1,92 @@
+package failsignal
+
+import (
+	"testing"
+	"time"
+
+	"fsnewtop/internal/faults"
+	"fsnewtop/internal/sm"
+)
+
+// TestInjectionCampaign replays the fault-injection campaign of
+// [SSKXBI01] against the fail-signal property: for every injected replica
+// fault, the pair must emit its fail-signal and must never deliver a
+// corrupt output to the application.
+func TestInjectionCampaign(t *testing.T) {
+	cases := []struct {
+		name   string
+		role   string // which replica gets the fault
+		inject func(sm.Machine) sm.Machine
+	}{
+		{"corrupt-output/leader", "leader", func(m sm.Machine) sm.Machine {
+			return &faults.CorruptOutput{Inner: m, After: 1}
+		}},
+		{"corrupt-output/follower", "follower", func(m sm.Machine) sm.Machine {
+			return &faults.CorruptOutput{Inner: m, After: 1}
+		}},
+		{"corrupt-periodic/leader", "leader", func(m sm.Machine) sm.Machine {
+			return &faults.CorruptOutput{Inner: m, Every: 2}
+		}},
+		{"drop-output/leader", "leader", func(m sm.Machine) sm.Machine {
+			return &faults.DropOutput{Inner: m, After: 1}
+		}},
+		{"drop-output/follower", "follower", func(m sm.Machine) sm.Machine {
+			return &faults.DropOutput{Inner: m, After: 1}
+		}},
+		{"duplicate-output/leader", "leader", func(m sm.Machine) sm.Machine {
+			return &faults.DuplicateOutput{Inner: m, After: 1}
+		}},
+		{"mute-inputs/follower", "follower", func(m sm.Machine) sm.Machine {
+			return &faults.MuteInputs{Inner: m, Kinds: []string{"req"}, After: 1}
+		}},
+		{"slow-step/leader", "leader", func(m sm.Machine) sm.Machine {
+			return &faults.SlowStep{Inner: m, After: 1, Delay: 300 * time.Millisecond}
+		}},
+		{"slow-step/follower", "follower", func(m sm.Machine) sm.Machine {
+			return &faults.SlowStep{Inner: m, After: 1, Delay: 300 * time.Millisecond}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			e := newEnv(t)
+			sink := e.addApp("app")
+			instance := 0
+			cfg := e.pairConfig("p", func() sm.Machine {
+				instance++
+				m := sm.Machine(newEchoMachine("resp", sm.LocalDelivery))
+				if (tc.role == "leader" && instance == 1) || (tc.role == "follower" && instance == 2) {
+					m = tc.inject(m)
+				}
+				return m
+			})
+			cfg.LocalName = "app"
+			cfg.Delta = 40 * time.Millisecond
+			pair, err := NewPair(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pair.Close()
+
+			client := e.addClient("client")
+			for i := 0; i < 4; i++ {
+				if err := client.Send("p", "req", []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if src := sink.waitFail(t, 15*time.Second); src != "p" {
+				t.Fatalf("fail-signal attributed to %q", src)
+			}
+			// fs1: any outputs that did escape before the failure must be
+			// correct (prefix of the echo sequence).
+			sink.mu.Lock()
+			defer sink.mu.Unlock()
+			for i, out := range sink.outs {
+				if len(out.Payload) < 7 || string(out.Payload[:3]) != "000" {
+					t.Fatalf("corrupt output %d escaped the pair: %q", i, out.Payload)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package failsignal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/sig"
+	"fsnewtop/internal/sm"
+)
+
+// PairConfig configures the construction of one fail-signal process.
+type PairConfig struct {
+	// Name is the logical name other processes use to address this FS
+	// process.
+	Name string
+	// NewMachine builds one replica of the wrapped deterministic machine.
+	// It is called twice; the two instances must satisfy R1.
+	NewMachine func() sm.Machine
+	// Net carries both the pair's synchronous link and external traffic.
+	Net *netsim.Network
+	// Clock drives all timeouts.
+	Clock clock.Clock
+	// Dir is the deployment directory; the pair registers itself in it.
+	Dir *Directory
+	// Keys is the signature directory; the pair's Compare identities are
+	// registered in it.
+	Keys *sig.Directory
+	// NewSigner builds a signer for a Compare identity. Nil selects
+	// HMAC-SHA256 with a key derived from the identity (test default).
+	NewSigner func(id sig.ID) (sig.Signer, error)
+	// Delta, Kappa, Sigma, T1, T2, TickInterval: see ReplicaConfig.
+	Delta        time.Duration
+	Kappa, Sigma float64
+	T1, T2       time.Duration
+	TickInterval time.Duration
+	// LocalName and Watchers: see ReplicaConfig.
+	LocalName string
+	Watchers  []string
+	// SyncLink, if non-nil, is applied as the netsim profile of the
+	// leader↔follower link (the A2 synchronous LAN).
+	SyncLink *netsim.Profile
+	// OnFailSignal: see ReplicaConfig.
+	OnFailSignal func(reason string)
+}
+
+// LeaderAddr returns the network address of the pair's leader FSO.
+func LeaderAddr(name string) netsim.Addr { return netsim.Addr(name + "#L") }
+
+// FollowerAddr returns the network address of the pair's follower FSO.
+func FollowerAddr(name string) netsim.Addr { return netsim.Addr(name + "#F") }
+
+// LeaderID returns the signing identity of the pair's leader Compare.
+func LeaderID(name string) sig.ID { return sig.ID(name + "#L") }
+
+// FollowerID returns the signing identity of the pair's follower Compare.
+func FollowerID(name string) sig.ID { return sig.ID(name + "#F") }
+
+// Pair is a running fail-signal process: the replica pair plus its
+// registration data.
+type Pair struct {
+	Name     string
+	Leader   *Replica
+	Follower *Replica
+}
+
+// defaultSigner derives an HMAC signer from the identity. Adequate for
+// tests and benchmarks that are not measuring signature cost.
+func defaultSigner(id sig.ID) (sig.Signer, error) {
+	return sig.NewHMACSigner(id, []byte("hmac-key:"+string(id))), nil
+}
+
+// NewPair builds, wires and starts a fail-signal process per Section 2.1:
+// it creates the two Compare signers, registers their verification
+// material, performs the start-up exchange of single-signed fail-signal
+// envelopes, registers the process in the directory, and starts both
+// replicas. Both nodes are assumed correct at this point (assumption A1).
+func NewPair(cfg PairConfig) (*Pair, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("failsignal: pair needs a name")
+	}
+	if cfg.NewMachine == nil {
+		return nil, fmt.Errorf("failsignal: pair %q needs a machine factory", cfg.Name)
+	}
+	newSigner := cfg.NewSigner
+	if newSigner == nil {
+		newSigner = defaultSigner
+	}
+	leaderSigner, err := newSigner(LeaderID(cfg.Name))
+	if err != nil {
+		return nil, fmt.Errorf("failsignal: pair %q leader signer: %w", cfg.Name, err)
+	}
+	followerSigner, err := newSigner(FollowerID(cfg.Name))
+	if err != nil {
+		return nil, fmt.Errorf("failsignal: pair %q follower signer: %w", cfg.Name, err)
+	}
+	if err := cfg.Keys.RegisterSigner(leaderSigner); err != nil {
+		return nil, err
+	}
+	if err := cfg.Keys.RegisterSigner(followerSigner); err != nil {
+		return nil, err
+	}
+
+	// Start-up exchange: each Compare receives the fail-signal body
+	// pre-signed by the other, so that either can later produce the unique
+	// double-signed fail-signal of the process on its own.
+	fsBody := failSignalBody(cfg.Name).Marshal()
+	envByLeader, err := sig.SignEnvelope(leaderSigner, fsBody)
+	if err != nil {
+		return nil, fmt.Errorf("failsignal: pre-signing fail-signal: %w", err)
+	}
+	envByFollower, err := sig.SignEnvelope(followerSigner, fsBody)
+	if err != nil {
+		return nil, fmt.Errorf("failsignal: pre-signing fail-signal: %w", err)
+	}
+
+	lAddr, fAddr := LeaderAddr(cfg.Name), FollowerAddr(cfg.Name)
+	cfg.Dir.RegisterFS(cfg.Name, lAddr, fAddr, LeaderID(cfg.Name), FollowerID(cfg.Name))
+	if cfg.SyncLink != nil {
+		cfg.Net.SetLinkProfile(lAddr, fAddr, *cfg.SyncLink)
+	}
+
+	base := ReplicaConfig{
+		Name:         cfg.Name,
+		Net:          cfg.Net,
+		Clock:        cfg.Clock,
+		Dir:          cfg.Dir,
+		Verifier:     cfg.Keys,
+		Delta:        cfg.Delta,
+		Kappa:        cfg.Kappa,
+		Sigma:        cfg.Sigma,
+		T1:           cfg.T1,
+		T2:           cfg.T2,
+		LocalName:    cfg.LocalName,
+		Watchers:     cfg.Watchers,
+		OnFailSignal: cfg.OnFailSignal,
+	}
+
+	leaderCfg := base
+	leaderCfg.Role = Leader
+	leaderCfg.Self, leaderCfg.Peer = lAddr, fAddr
+	leaderCfg.Signer = leaderSigner
+	leaderCfg.PeerFailEnv = envByFollower
+	leaderCfg.Machine = cfg.NewMachine()
+	leaderCfg.TickInterval = cfg.TickInterval
+
+	followerCfg := base
+	followerCfg.Role = Follower
+	followerCfg.Self, followerCfg.Peer = fAddr, lAddr
+	followerCfg.Signer = followerSigner
+	followerCfg.PeerFailEnv = envByLeader
+	followerCfg.Machine = cfg.NewMachine()
+
+	leader, err := NewReplica(leaderCfg)
+	if err != nil {
+		return nil, err
+	}
+	follower, err := NewReplica(followerCfg)
+	if err != nil {
+		leader.Close()
+		return nil, err
+	}
+	return &Pair{Name: cfg.Name, Leader: leader, Follower: follower}, nil
+}
+
+// Close stops both replicas.
+func (p *Pair) Close() {
+	p.Leader.Close()
+	p.Follower.Close()
+}
+
+// Failed reports whether either FSO has started fail-signalling.
+func (p *Pair) Failed() bool { return p.Leader.Failed() || p.Follower.Failed() }
+
+// Client submits signed inputs to FS processes on behalf of a plain
+// endpoint. It numbers its requests so replicas can suppress the duplicate
+// copies that dual submission produces.
+type Client struct {
+	name   string
+	addr   netsim.Addr
+	signer sig.Signer
+	net    *netsim.Network
+	dir    *Directory
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// NewClient registers (if needed) and returns a client identity. The
+// client's signer must already be registered in the verifier used by the
+// destination replicas.
+func NewClient(name string, addr netsim.Addr, signer sig.Signer, net *netsim.Network, dir *Directory) *Client {
+	return &Client{name: name, addr: addr, signer: signer, net: net, dir: dir}
+}
+
+// Send signs and submits one input to every replica of dest.
+func (c *Client) Send(dest, kind string, body []byte) error {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+
+	ci := ClientInput{Client: c.name, Seq: seq, Kind: kind, Body: body}
+	env, err := sig.SignEnvelope(c.signer, ci.Marshal())
+	if err != nil {
+		return fmt.Errorf("failsignal: client %q signing input: %w", c.name, err)
+	}
+	payload := encodeClientPayload(env)
+	addrs, err := c.dir.DestAddrs(dest)
+	if err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		if err := c.net.Send(c.addr, a, MsgNew, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Receiver is the plain-endpoint counterpart of an FS process's output
+// side: it verifies double signatures, suppresses the duplicate copies
+// produced by the two Compare threads, and dispatches verified outputs and
+// fail-signals to callbacks. It corresponds to the interceptor that
+// "strips signatures and suppresses duplicates" at the invocation layer
+// (Section 3.1).
+type Receiver struct {
+	dir      *Directory
+	verifier sig.Verifier
+	onOutput func(source string, out sm.Output)
+	onFail   func(source string)
+
+	mu   sync.Mutex
+	seen map[string]struct{}
+}
+
+// NewReceiver builds a receiver. Either callback may be nil.
+func NewReceiver(dir *Directory, verifier sig.Verifier, onOutput func(string, sm.Output), onFail func(string)) *Receiver {
+	return &Receiver{
+		dir:      dir,
+		verifier: verifier,
+		onOutput: onOutput,
+		onFail:   onFail,
+		seen:     make(map[string]struct{}),
+	}
+}
+
+// Handle is the netsim handler for the receiving endpoint.
+func (rc *Receiver) Handle(msg netsim.Message) {
+	if msg.Kind != MsgOut && msg.Kind != MsgNew {
+		return
+	}
+	p, err := decodeNewPayload(msg.Payload)
+	if err != nil || p.tag != tagFS {
+		return
+	}
+	if err := rc.dir.VerifyFromFS(p.body.Source, p.dbl, rc.verifier); err != nil {
+		return
+	}
+	key, _ := p.dedupeKey()
+	rc.mu.Lock()
+	if _, dup := rc.seen[key]; dup {
+		rc.mu.Unlock()
+		return
+	}
+	rc.seen[key] = struct{}{}
+	rc.mu.Unlock()
+
+	if p.body.FailSignal {
+		if rc.onFail != nil {
+			rc.onFail(p.body.Source)
+		}
+		return
+	}
+	out, err := sm.UnmarshalOutput(p.body.Output)
+	if err != nil {
+		return
+	}
+	if rc.onOutput != nil {
+		rc.onOutput(p.body.Source, out)
+	}
+}

@@ -1,0 +1,792 @@
+package failsignal
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/sig"
+	"fsnewtop/internal/sm"
+)
+
+// Role distinguishes the two FSOs of a pair. The leader decides input
+// order; the follower checks that everything it receives is eventually
+// ordered by the leader.
+type Role int
+
+const (
+	// Leader is the FSO fixed as the order decider.
+	Leader Role = iota + 1
+	// Follower is the FSO that accepts the leader's order.
+	Follower
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Leader:
+		return "leader"
+	case Follower:
+		return "follower"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// MsgRelay carries a follower-received input to the leader after timeout
+// t1 (the follower "dispatches the message to the leader by calling the
+// receiveDouble() of the leader", Appendix A).
+const MsgRelay = "fs.relay"
+
+// ReplicaConfig configures one half of an FS pair. Most users should build
+// pairs with NewPair rather than assembling replicas directly.
+type ReplicaConfig struct {
+	// Name is the logical name of the FS process this replica belongs to.
+	Name string
+	// Role selects leader or follower behaviour.
+	Role Role
+	// Self and Peer are the network addresses of this replica and its
+	// counterpart. The Self↔Peer link is the synchronous LAN of A2.
+	Self, Peer netsim.Addr
+	// Net is the network carrying both the sync link and external traffic.
+	Net *netsim.Network
+	// Clock drives all timeouts.
+	Clock clock.Clock
+	// Dir resolves logical destinations and verifies FS sources.
+	Dir *Directory
+	// Verifier checks all inbound signatures.
+	Verifier sig.Verifier
+	// Signer is this node's Compare identity.
+	Signer sig.Signer
+	// PeerFailEnv is the fail-signal envelope pre-signed by the peer's
+	// Compare at start-up (Section 2.1): counter-signing it produces this
+	// FS process's unique double-signed fail-signal.
+	PeerFailEnv sig.Envelope
+	// Machine is the wrapped deterministic state machine (R1).
+	Machine sm.Machine
+	// Delta is δ, the sync-link delivery bound (A2). Required.
+	Delta time.Duration
+	// Kappa and Sigma are κ and σ (A3/A4). Zero means the paper's value 2.
+	Kappa, Sigma float64
+	// T1 and T2 are the follower's IRMP timeouts. The paper's
+	// implementation uses t1 = 0 and t2 = 2δ; zero values select those.
+	T1, T2 time.Duration
+	// TickInterval, when non-zero on the leader, injects ordered tick
+	// inputs so the machine can run timers deterministically.
+	TickInterval time.Duration
+	// LocalName, when non-empty, is the logical (plain) endpoint that
+	// receives outputs addressed to sm.LocalDelivery.
+	LocalName string
+	// Watchers are logical names additionally notified when this replica
+	// emits a fail-signal ("all entities that are expecting a response").
+	Watchers []string
+	// OnFailSignal, if set, is invoked once with the reason when this
+	// replica starts fail-signalling. Test hook.
+	OnFailSignal func(reason string)
+}
+
+func (c *ReplicaConfig) fillDefaults() {
+	if c.Kappa == 0 {
+		c.Kappa = 2
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 2
+	}
+	if c.T2 == 0 {
+		c.T2 = 2 * c.Delta
+	}
+}
+
+// ReplicaStats counts observable replica events; retrieve with Stats.
+type ReplicaStats struct {
+	Ordered     uint64 // inputs accepted into the DMQ
+	Duplicates  uint64 // inputs suppressed by deduplication
+	Rejected    uint64 // inputs dropped for failed authentication or decode
+	Outputs     uint64 // machine outputs produced
+	Matched     uint64 // outputs that compared equal and were dispatched
+	Relayed     uint64 // follower inputs relayed to the leader after t1
+	FailSignals uint64 // fail-signal messages emitted
+}
+
+// icmpEntry is an Internal Candidate Message Pool entry: one locally
+// produced output awaiting comparison.
+type icmpEntry struct {
+	digest [32]byte
+	dests  []string
+	cancel chan struct{}
+}
+
+// irmpEntry is an Internal Received Message Pool entry (follower only):
+// one externally received input not yet ordered by the leader.
+type irmpEntry struct {
+	raw    []byte
+	cancel chan struct{}
+	due    time.Time // when the t1 relay falls due
+}
+
+// Replica is one half of a fail-signal process: the wrapped state-machine
+// replica plus its FSO (Order and Compare roles).
+type Replica struct {
+	cfg ReplicaConfig
+
+	queue  *dmq
+	relayq *relayQueue
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	seen       map[string]struct{}
+	ordIdx     uint64 // leader: next order index to assign
+	nextFwdIdx uint64 // follower: next expected order index
+	lastTick   time.Time
+	icmp       map[uint64]*icmpEntry
+	ecmp       map[uint64]sig.Envelope
+	irmp       map[string]*irmpEntry
+	failed     bool
+	failDbl    sig.Double // cached double-signed fail-signal, set on failure
+	closed     bool
+	stats      ReplicaStats
+}
+
+// NewReplica constructs and starts a replica: it registers the network
+// handler, starts the machine loop and (for a leader with TickInterval
+// set) the tick generator.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("failsignal: replica %q: Delta must be positive", cfg.Name)
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("failsignal: replica %q: Machine is required", cfg.Name)
+	}
+	if cfg.Role != Leader && cfg.Role != Follower {
+		return nil, fmt.Errorf("failsignal: replica %q: invalid role %v", cfg.Name, cfg.Role)
+	}
+	cfg.fillDefaults()
+	r := &Replica{
+		cfg:    cfg,
+		queue:  newDMQ(),
+		relayq: newRelayQueue(),
+		stop:   make(chan struct{}),
+		seen:   make(map[string]struct{}),
+		icmp:   make(map[uint64]*icmpEntry),
+		ecmp:   make(map[uint64]sig.Envelope),
+		irmp:   make(map[string]*irmpEntry),
+	}
+	cfg.Net.Register(cfg.Self, r.handle)
+	r.wg.Add(1)
+	go r.machineLoop()
+	if cfg.Role == Follower {
+		r.wg.Add(1)
+		go r.relayLoop()
+	}
+	if cfg.Role == Leader && cfg.TickInterval > 0 {
+		r.wg.Add(1)
+		go r.tickLoop()
+	}
+	return r, nil
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Failed reports whether this replica has started fail-signalling.
+func (r *Replica) Failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// QueueLen reports the DMQ backlog. Used by load tests.
+func (r *Replica) QueueLen() int { return r.queue.len() }
+
+// InjectFailSignal forces the Compare thread into its failure mode, as a
+// node fault could (failure mode fs2: fail-signals at arbitrary instants).
+func (r *Replica) InjectFailSignal() { r.failSignal("injected (fs2)") }
+
+// Crash simulates a silent node crash: the replica stops processing and
+// emitting, while its address keeps silently absorbing traffic (a dead
+// node, not a vanished one). Its peer detects the silence via comparison
+// timeouts and fail-signals on the pair's behalf.
+func (r *Replica) Crash() {
+	r.cfg.Net.Register(r.cfg.Self, func(netsim.Message) {})
+	r.shutdown()
+}
+
+// Close stops the replica's goroutines and deregisters it.
+func (r *Replica) Close() {
+	r.cfg.Net.Deregister(r.cfg.Self)
+	r.shutdown()
+	r.wg.Wait()
+}
+
+func (r *Replica) shutdown() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	for _, e := range r.icmp {
+		close(e.cancel)
+	}
+	r.icmp = map[uint64]*icmpEntry{}
+	for _, e := range r.irmp {
+		close(e.cancel)
+	}
+	r.irmp = map[string]*irmpEntry{}
+	r.mu.Unlock()
+	close(r.stop)
+	r.queue.close()
+	r.relayq.close()
+}
+
+// handle dispatches inbound network messages. It runs on netsim link
+// goroutines and must not block.
+func (r *Replica) handle(msg netsim.Message) {
+	switch msg.Kind {
+	case MsgNew, MsgOut:
+		r.onNew(msg)
+	case MsgRelay:
+		if r.cfg.Role == Leader {
+			r.onNew(msg)
+		}
+	case MsgFwd:
+		if r.cfg.Role == Follower {
+			r.onFwd(msg)
+		}
+	case MsgSingle:
+		r.onSingle(msg)
+	}
+}
+
+// verifyPayload authenticates a decoded payload according to its tag.
+func (r *Replica) verifyPayload(p newPayload) error {
+	switch p.tag {
+	case tagClient:
+		if p.client.Client != string(p.env.Signer) {
+			return fmt.Errorf("failsignal: client %q signed by %q", p.client.Client, p.env.Signer)
+		}
+		return p.env.Verify(r.cfg.Verifier)
+	case tagFS:
+		return r.cfg.Dir.VerifyFromFS(p.body.Source, p.dbl, r.cfg.Verifier)
+	case tagTick:
+		return fmt.Errorf("failsignal: tick received outside the fwd link")
+	default:
+		return fmt.Errorf("failsignal: unverifiable tag %d", p.tag)
+	}
+}
+
+// onNew handles an external input (receiveNew), including inputs the
+// leader receives back from its follower as relays after t1.
+func (r *Replica) onNew(msg netsim.Message) {
+	if r.replyIfFailed(msg.From) {
+		return
+	}
+	p, err := decodeNewPayload(msg.Payload)
+	if err != nil {
+		r.countRejected()
+		return
+	}
+	if err := r.verifyPayload(p); err != nil {
+		r.countRejected()
+		return
+	}
+	key, ok := p.dedupeKey()
+	if !ok {
+		r.countRejected()
+		return
+	}
+	if r.cfg.Role == Leader {
+		r.leaderAccept(key, msg.Payload, p)
+	} else {
+		r.followerAccept(key, msg.Payload)
+	}
+}
+
+// leaderAccept orders a verified input: mark seen, forward to the
+// follower, and submit to the local DMQ. The forward and the local submit
+// happen under one critical section so the two replicas observe the same
+// total order.
+func (r *Replica) leaderAccept(key string, raw []byte, p newPayload) {
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if _, dup := r.seen[key]; dup {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	r.seen[key] = struct{}{}
+	idx := r.ordIdx
+	r.ordIdx++
+	r.stats.Ordered++
+	fp := fwdPayload{Index: idx, Raw: raw}
+	_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgFwd, fp.marshal())
+	r.queue.push(orderedInput{in: p.toInput(), submitted: r.cfg.Clock.Now()})
+	r.mu.Unlock()
+}
+
+// followerAccept records a directly received input in the IRMP and hands
+// it to the relayer for the t1/t2 escalation, unless the leader has
+// already ordered it.
+func (r *Replica) followerAccept(key string, raw []byte) {
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if _, dup := r.seen[key]; dup {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	if _, pending := r.irmp[key]; pending {
+		r.stats.Duplicates++
+		r.mu.Unlock()
+		return
+	}
+	e := &irmpEntry{raw: raw, cancel: make(chan struct{}), due: r.cfg.Clock.Now().Add(r.cfg.T1)}
+	r.irmp[key] = e
+	r.relayq.push(relayItem{key: key, e: e})
+	r.mu.Unlock()
+}
+
+// relayLoop is the follower's single relayer: it forwards IRMP entries to
+// the leader strictly in arrival order after their t1 delay. One FIFO
+// worker — not a goroutine per entry — because relays from the same source
+// must not overtake each other: the leader merges the direct and relayed
+// streams, and per-stream FIFO is what guarantees a client's inputs are
+// ordered in submission order (e.g. a group join before the multicasts
+// that follow it).
+func (r *Replica) relayLoop() {
+	defer r.wg.Done()
+	for {
+		item, ok := r.relayq.pop()
+		if !ok {
+			return
+		}
+		if wait := item.e.due.Sub(r.cfg.Clock.Now()); wait > 0 {
+			t := r.cfg.Clock.NewTimer(wait)
+			select {
+			case <-r.stop:
+				t.Stop()
+				return
+			case <-item.e.cancel:
+				t.Stop()
+				continue // leader ordered it while queued
+			case <-t.C():
+			}
+		}
+		r.mu.Lock()
+		if r.failed || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if _, still := r.irmp[item.key]; !still {
+			r.mu.Unlock()
+			continue
+		}
+		r.stats.Relayed++
+		r.mu.Unlock()
+		_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgRelay, item.e.raw)
+
+		r.wg.Add(1)
+		go r.irmpExpiry(item.key, item.e)
+	}
+}
+
+// irmpExpiry concludes the leader has failed if it does not order a
+// relayed input within t2.
+func (r *Replica) irmpExpiry(key string, e *irmpEntry) {
+	defer r.wg.Done()
+	t := r.cfg.Clock.NewTimer(r.cfg.T2)
+	select {
+	case <-e.cancel:
+		t.Stop()
+		return
+	case <-t.C():
+	}
+	r.failSignal(fmt.Sprintf("leader did not order input %s within t2=%v", key, r.cfg.T2))
+}
+
+// onFwd handles a leader-ordered input arriving at the follower
+// (receiveDouble). The follower re-verifies authenticity — by A5 a faulty
+// leader cannot forge client or FS signatures — checks order-index
+// continuity, cancels any pending IRMP escalation, and submits the input.
+func (r *Replica) onFwd(msg netsim.Message) {
+	if r.replyIfFailed(msg.From) {
+		return
+	}
+	if msg.From != r.cfg.Peer {
+		r.countRejected()
+		return
+	}
+	fp, err := unmarshalFwdPayload(msg.Payload)
+	if err != nil {
+		r.failSignal(fmt.Sprintf("undecodable fwd from leader: %v", err))
+		return
+	}
+	p, err := decodeNewPayload(fp.Raw)
+	if err != nil {
+		r.failSignal(fmt.Sprintf("undecodable ordered input from leader: %v", err))
+		return
+	}
+	if p.tag == tagTick {
+		r.acceptTick(fp, p)
+		return
+	}
+	if err := r.verifyPayload(p); err != nil {
+		r.failSignal(fmt.Sprintf("leader forwarded unauthenticated input: %v", err))
+		return
+	}
+	key, ok := p.dedupeKey()
+	if !ok {
+		r.failSignal("leader forwarded input with no identity")
+		return
+	}
+
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if fp.Index != r.nextFwdIdx {
+		r.mu.Unlock()
+		r.failSignal(fmt.Sprintf("order gap: leader index %d, expected %d", fp.Index, r.nextFwdIdx))
+		return
+	}
+	r.nextFwdIdx++
+	if _, dup := r.seen[key]; dup {
+		// The leader ordered the same input twice: out-of-spec behaviour.
+		r.mu.Unlock()
+		r.failSignal(fmt.Sprintf("leader ordered duplicate input %s", key))
+		return
+	}
+	r.seen[key] = struct{}{}
+	if e, pending := r.irmp[key]; pending {
+		close(e.cancel)
+		delete(r.irmp, key)
+	}
+	r.stats.Ordered++
+	r.queue.push(orderedInput{in: p.toInput(), submitted: r.cfg.Clock.Now()})
+	r.mu.Unlock()
+}
+
+// acceptTick validates and submits a leader-generated tick. Ticks carry no
+// external signature; the follower enforces index continuity and
+// monotonicity, the only checks available for leader-local events.
+func (r *Replica) acceptTick(fp fwdPayload, p newPayload) {
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if fp.Index != r.nextFwdIdx {
+		r.mu.Unlock()
+		r.failSignal(fmt.Sprintf("order gap at tick: leader index %d, expected %d", fp.Index, r.nextFwdIdx))
+		return
+	}
+	if p.tick.Before(r.lastTick) {
+		r.mu.Unlock()
+		r.failSignal("leader tick went backwards")
+		return
+	}
+	r.nextFwdIdx++
+	r.lastTick = p.tick
+	r.stats.Ordered++
+	r.queue.push(orderedInput{in: p.toInput(), submitted: r.cfg.Clock.Now()})
+	r.mu.Unlock()
+}
+
+// tickLoop (leader only) injects tick inputs into the total input order.
+func (r *Replica) tickLoop() {
+	defer r.wg.Done()
+	for {
+		t := r.cfg.Clock.NewTimer(r.cfg.TickInterval)
+		select {
+		case <-r.stop:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		now := r.cfg.Clock.Now()
+		raw := encodeTickPayload(now)
+		r.mu.Lock()
+		if r.failed || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		idx := r.ordIdx
+		r.ordIdx++
+		r.stats.Ordered++
+		fp := fwdPayload{Index: idx, Raw: raw}
+		_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgFwd, fp.marshal())
+		r.queue.push(orderedInput{in: sm.Tick(now), submitted: now})
+		r.mu.Unlock()
+	}
+}
+
+// machineLoop is the target thread: it consumes the DMQ, runs the wrapped
+// machine, and hands each output to the Compare stage.
+func (r *Replica) machineLoop() {
+	defer r.wg.Done()
+	var outSeq uint64
+	for {
+		oi, ok := r.queue.pop()
+		if !ok {
+			return
+		}
+		outs := r.cfg.Machine.Step(oi.in)
+		pi := r.cfg.Clock.Since(oi.submitted)
+		for _, out := range outs {
+			outSeq++
+			r.compareOutput(outSeq, out, pi)
+		}
+	}
+}
+
+// compareDeadline computes the Compare wait for one output: 2δ + κ·π + σ·τ
+// at the leader, δ + κ·π + σ·τ at the follower (Section 2.2; the follower
+// always lags the leader by at most δ, hence one fewer δ term).
+func (r *Replica) compareDeadline(pi, tau time.Duration) time.Duration {
+	base := r.cfg.Delta
+	if r.cfg.Role == Leader {
+		base = 2 * r.cfg.Delta
+	}
+	return base + time.Duration(r.cfg.Kappa*float64(pi)) + time.Duration(r.cfg.Sigma*float64(tau))
+}
+
+// compareOutput implements the Compare send side for one output: sign it
+// once, forward to the remote Compare, and either match it against an
+// already-received peer candidate or pool it in the ICMP under a deadline.
+func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
+	body := OutputBody{Source: r.cfg.Name, Seq: seq, Output: sm.MarshalOutput(out)}
+	bb := body.Marshal()
+	digest := sig.Digest(bb)
+
+	signStart := r.cfg.Clock.Now()
+	env, err := sig.SignEnvelope(r.cfg.Signer, bb)
+	if err != nil {
+		r.failSignal(fmt.Sprintf("cannot sign output %d: %v", seq, err))
+		return
+	}
+	_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgSingle, env.Marshal())
+	tau := r.cfg.Clock.Since(signStart)
+	deadline := r.compareDeadline(pi, tau)
+
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.stats.Outputs++
+	if peerEnv, ok := r.ecmp[seq]; ok {
+		delete(r.ecmp, seq)
+		match := sig.Digest(peerEnv.Body) == digest
+		if match {
+			r.stats.Matched++
+		}
+		r.mu.Unlock()
+		if !match {
+			r.failSignal(fmt.Sprintf("output %d content mismatch", seq))
+			return
+		}
+		r.dispatchMatched(peerEnv, out.To)
+		return
+	}
+	e := &icmpEntry{digest: digest, dests: out.To, cancel: make(chan struct{})}
+	r.icmp[seq] = e
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go r.icmpWatch(seq, e, deadline)
+}
+
+// icmpWatch fail-signals if the peer's matching candidate does not arrive
+// within the deadline.
+func (r *Replica) icmpWatch(seq uint64, e *icmpEntry, deadline time.Duration) {
+	defer r.wg.Done()
+	t := r.cfg.Clock.NewTimer(deadline)
+	select {
+	case <-e.cancel:
+		t.Stop()
+		return
+	case <-t.C():
+	}
+	r.failSignal(fmt.Sprintf("output %d not matched within %v", seq, deadline))
+}
+
+// onSingle implements the Compare receive side: a single-signed candidate
+// from the remote Compare is matched against the local ICMP or pooled in
+// the ECMP.
+func (r *Replica) onSingle(msg netsim.Message) {
+	if msg.From != r.cfg.Peer {
+		r.countRejected()
+		return
+	}
+	env, err := sig.UnmarshalEnvelope(msg.Payload)
+	if err != nil {
+		r.failSignal(fmt.Sprintf("undecodable single from peer: %v", err))
+		return
+	}
+	if err := env.Verify(r.cfg.Verifier); err != nil {
+		r.failSignal(fmt.Sprintf("peer single-signature invalid: %v", err))
+		return
+	}
+	body, err := UnmarshalOutputBody(env.Body)
+	if err != nil || body.Source != r.cfg.Name || body.FailSignal {
+		r.failSignal("peer single-signed a malformed candidate")
+		return
+	}
+
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if e, ok := r.icmp[body.Seq]; ok {
+		close(e.cancel)
+		delete(r.icmp, body.Seq)
+		match := sig.Digest(env.Body) == e.digest
+		if match {
+			r.stats.Matched++
+		}
+		dests := e.dests
+		r.mu.Unlock()
+		if !match {
+			r.failSignal(fmt.Sprintf("output %d content mismatch", body.Seq))
+			return
+		}
+		r.dispatchMatched(env, dests)
+		return
+	}
+	r.ecmp[body.Seq] = env
+	overflow := len(r.ecmp) > maxECMP
+	r.mu.Unlock()
+	if overflow {
+		r.failSignal("peer flooded the external candidate pool")
+	}
+}
+
+// maxECMP bounds how far ahead of the local machine the peer's candidate
+// stream may run before the peer is considered faulty.
+const maxECMP = 1 << 16
+
+// dispatchMatched counter-signs the peer's candidate — producing the
+// double-signed output that is the valid output form of the FS process —
+// and sends it to every destination.
+func (r *Replica) dispatchMatched(peerEnv sig.Envelope, dests []string) {
+	dbl, err := sig.CounterSign(r.cfg.Signer, peerEnv)
+	if err != nil {
+		r.failSignal(fmt.Sprintf("cannot counter-sign matched output: %v", err))
+		return
+	}
+	payload := encodeFSPayload(dbl)
+	for _, dest := range dests {
+		r.sendToDest(dest, payload)
+	}
+}
+
+// sendToDest routes a double-signed payload to one logical destination.
+func (r *Replica) sendToDest(dest string, payload []byte) {
+	if dest == sm.LocalDelivery {
+		if r.cfg.LocalName == "" {
+			return
+		}
+		dest = r.cfg.LocalName
+	}
+	info, err := r.cfg.Dir.Lookup(dest)
+	if err != nil {
+		return
+	}
+	if info.Kind == KindFS {
+		_ = r.cfg.Net.Send(r.cfg.Self, info.Addrs[0], MsgNew, payload)
+		_ = r.cfg.Net.Send(r.cfg.Self, info.Addrs[1], MsgNew, payload)
+		return
+	}
+	_ = r.cfg.Net.Send(r.cfg.Self, info.Addrs[0], MsgOut, payload)
+}
+
+// failSignal transitions the Compare thread into its failure mode: it
+// counter-signs the pre-supplied fail-signal, emits it to every pending
+// destination plus the configured watchers, ceases interacting with the
+// peer, and thereafter answers any incoming message with the fail-signal.
+func (r *Replica) failSignal(reason string) {
+	r.mu.Lock()
+	if r.failed || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.failed = true
+	destSet := make(map[string]struct{})
+	for _, e := range r.icmp {
+		close(e.cancel)
+		for _, d := range e.dests {
+			destSet[d] = struct{}{}
+		}
+	}
+	r.icmp = map[uint64]*icmpEntry{}
+	for _, e := range r.irmp {
+		close(e.cancel)
+	}
+	r.irmp = map[string]*irmpEntry{}
+	for _, w := range r.cfg.Watchers {
+		destSet[w] = struct{}{}
+	}
+	if r.cfg.LocalName != "" {
+		destSet[r.cfg.LocalName] = struct{}{}
+	}
+	dbl, err := sig.CounterSign(r.cfg.Signer, r.cfg.PeerFailEnv)
+	if err != nil {
+		// Without a signable fail-signal the replica can only fall silent;
+		// the peer's timeouts then signal on the pair's behalf.
+		r.mu.Unlock()
+		r.queue.close()
+		return
+	}
+	r.failDbl = dbl
+	r.stats.FailSignals += uint64(len(destSet))
+	hook := r.cfg.OnFailSignal
+	r.mu.Unlock()
+
+	payload := encodeFSPayload(dbl)
+	for dest := range destSet {
+		r.sendToDest(dest, payload)
+	}
+	r.queue.close()
+	if hook != nil {
+		hook(reason)
+	}
+}
+
+// replyIfFailed answers an incoming message with the fail-signal when the
+// replica has already failed. Reports whether the caller should stop.
+func (r *Replica) replyIfFailed(from netsim.Addr) bool {
+	r.mu.Lock()
+	if !r.failed {
+		done := r.closed
+		r.mu.Unlock()
+		return done
+	}
+	dbl := r.failDbl
+	r.stats.FailSignals++
+	r.mu.Unlock()
+	if len(dbl.SecondSig) != 0 && from != r.cfg.Peer {
+		_ = r.cfg.Net.Send(r.cfg.Self, from, MsgOut, encodeFSPayload(dbl))
+	}
+	return true
+}
+
+func (r *Replica) countRejected() {
+	r.mu.Lock()
+	r.stats.Rejected++
+	r.mu.Unlock()
+}

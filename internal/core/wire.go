@@ -1,0 +1,245 @@
+package failsignal
+
+import (
+	"fmt"
+	"time"
+
+	"fsnewtop/internal/codec"
+	"fsnewtop/internal/sig"
+	"fsnewtop/internal/sm"
+)
+
+// Network message kinds used by the fail-signal machinery. The names match
+// the methods of the paper's Appendix A where one exists.
+const (
+	// MsgNew carries an external input to an FS replica (receiveNew).
+	MsgNew = "fs.new"
+	// MsgFwd carries a leader-ordered input to the follower (receiveDouble),
+	// and, in the reverse direction, a follower relay after timeout t1.
+	MsgFwd = "fs.fwd"
+	// MsgSingle carries a single-signed candidate output between the two
+	// Compare threads (receiveSingle).
+	MsgSingle = "fs.single"
+	// MsgOut carries a double-signed FS output to a plain (non-FS) endpoint.
+	MsgOut = "fs.out"
+)
+
+// InputFailSignal is the sm.Input kind delivered to the wrapped machine
+// when a verified fail-signal arrives from another FS process. Input.From
+// names the signalling process. The machine's suspector treats this as a
+// suspicion that cannot be false (Section 3.1).
+const InputFailSignal = "fs.failsignal"
+
+// Payload tags distinguishing the contents of a MsgNew payload.
+const (
+	tagClient byte = iota + 1 // single-signed ClientInput
+	tagFS                     // double-signed OutputBody from an FS process
+	tagTick                   // leader-generated tick (only on the fwd link)
+)
+
+// ClientInput is a request submitted to an FS process by a plain endpoint.
+// It is single-signed by the client (input authentication is one of the
+// three FS latency sources named in Section 4).
+type ClientInput struct {
+	Client string // logical name of the sender
+	Seq    uint64 // per-client sequence number, for duplicate suppression
+	Kind   string // sm.Input kind for the wrapped machine
+	Body   []byte // sm.Input payload
+}
+
+// Marshal returns the canonical encoding of c.
+func (c ClientInput) Marshal() []byte {
+	w := codec.NewWriter(len(c.Body) + len(c.Client) + len(c.Kind) + 24)
+	w.String(c.Client)
+	w.U64(c.Seq)
+	w.String(c.Kind)
+	w.Bytes32(c.Body)
+	return w.Bytes()
+}
+
+// UnmarshalClientInput decodes a ClientInput.
+func UnmarshalClientInput(b []byte) (ClientInput, error) {
+	r := codec.NewReader(b)
+	c := ClientInput{Client: r.String(), Seq: r.U64(), Kind: r.String()}
+	c.Body = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return ClientInput{}, fmt.Errorf("failsignal: decoding client input: %w", err)
+	}
+	return c, nil
+}
+
+// OutputBody is the content that a Compare thread signs: one sequenced
+// output of the wrapped machine, or the process's fail-signal.
+type OutputBody struct {
+	Source     string // logical name of the producing FS process
+	Seq        uint64 // output sequence number (0 for fail-signals)
+	FailSignal bool
+	Output     []byte // sm.MarshalOutput encoding; empty for fail-signals
+}
+
+// Marshal returns the canonical encoding of o. Canonical matters: output
+// comparison is equality of these bytes.
+func (o OutputBody) Marshal() []byte {
+	w := codec.NewWriter(len(o.Output) + len(o.Source) + 24)
+	w.String(o.Source)
+	w.U64(o.Seq)
+	w.Bool(o.FailSignal)
+	w.Bytes32(o.Output)
+	return w.Bytes()
+}
+
+// UnmarshalOutputBody decodes an OutputBody.
+func UnmarshalOutputBody(b []byte) (OutputBody, error) {
+	r := codec.NewReader(b)
+	o := OutputBody{Source: r.String(), Seq: r.U64(), FailSignal: r.Bool()}
+	o.Output = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return OutputBody{}, fmt.Errorf("failsignal: decoding output body: %w", err)
+	}
+	return o, nil
+}
+
+// newPayload is the decoded form of a MsgNew payload.
+type newPayload struct {
+	tag    byte
+	env    sig.Envelope // tagClient
+	client ClientInput  // tagClient
+	dbl    sig.Double   // tagFS
+	body   OutputBody   // tagFS
+	tick   time.Time    // tagTick
+}
+
+// encodeClientPayload wraps a signed client envelope as a MsgNew payload.
+func encodeClientPayload(env sig.Envelope) []byte {
+	w := codec.NewWriter(len(env.Body) + len(env.Sig) + 32)
+	w.U8(tagClient)
+	env.Encode(w)
+	return w.Bytes()
+}
+
+// encodeFSPayload wraps a double-signed FS output as a MsgNew payload.
+func encodeFSPayload(dbl sig.Double) []byte {
+	w := codec.NewWriter(len(dbl.Body) + len(dbl.Sig) + len(dbl.SecondSig) + 48)
+	w.U8(tagFS)
+	dbl.Encode(w)
+	return w.Bytes()
+}
+
+// encodeTickPayload wraps a tick instant as a payload for the fwd link.
+func encodeTickPayload(now time.Time) []byte {
+	w := codec.NewWriter(9)
+	w.U8(tagTick)
+	w.Time(now)
+	return w.Bytes()
+}
+
+// decodeNewPayload parses a MsgNew (or fwd-link) payload without verifying
+// signatures; callers verify according to the tag.
+func decodeNewPayload(b []byte) (newPayload, error) {
+	r := codec.NewReader(b)
+	p := newPayload{tag: r.U8()}
+	switch p.tag {
+	case tagClient:
+		p.env = sig.DecodeEnvelope(r)
+		if err := r.Finish(); err != nil {
+			return newPayload{}, fmt.Errorf("failsignal: decoding client payload: %w", err)
+		}
+		var err error
+		p.client, err = UnmarshalClientInput(p.env.Body)
+		if err != nil {
+			return newPayload{}, err
+		}
+	case tagFS:
+		p.dbl = sig.DecodeDouble(r)
+		if err := r.Finish(); err != nil {
+			return newPayload{}, fmt.Errorf("failsignal: decoding FS payload: %w", err)
+		}
+		var err error
+		p.body, err = UnmarshalOutputBody(p.dbl.Body)
+		if err != nil {
+			return newPayload{}, err
+		}
+	case tagTick:
+		p.tick = r.Time()
+		if err := r.Finish(); err != nil {
+			return newPayload{}, fmt.Errorf("failsignal: decoding tick payload: %w", err)
+		}
+	default:
+		return newPayload{}, fmt.Errorf("failsignal: unknown payload tag %d", p.tag)
+	}
+	return p, nil
+}
+
+// dedupeKey identifies an input for duplicate suppression across the up to
+// four copies a replica may legitimately receive.
+func (p newPayload) dedupeKey() (string, bool) {
+	switch p.tag {
+	case tagClient:
+		return fmt.Sprintf("c|%s|%d", p.client.Client, p.client.Seq), true
+	case tagFS:
+		if p.body.FailSignal {
+			return "fsig|" + p.body.Source, true
+		}
+		return fmt.Sprintf("f|%s|%d", p.body.Source, p.body.Seq), true
+	default:
+		return "", false
+	}
+}
+
+// toInput converts a verified payload into the sm.Input the machine sees.
+func (p newPayload) toInput() sm.Input {
+	switch p.tag {
+	case tagClient:
+		return sm.Input{Kind: p.client.Kind, From: p.client.Client, Payload: p.client.Body}
+	case tagFS:
+		if p.body.FailSignal {
+			return sm.Input{Kind: InputFailSignal, From: p.body.Source}
+		}
+		out, err := sm.UnmarshalOutput(p.body.Output)
+		if err != nil {
+			// Verified content that fails to decode can only happen if the
+			// sender pair double-signed garbage; surface it as an opaque
+			// input so both replicas handle it identically.
+			return sm.Input{Kind: "fs.undecodable", From: p.body.Source}
+		}
+		return sm.Input{Kind: out.Kind, From: p.body.Source, Payload: out.Payload}
+	case tagTick:
+		return sm.Input{Kind: sm.TickKind, Payload: sm.EncodeTick(p.tick)}
+	default:
+		return sm.Input{Kind: "fs.unknown"}
+	}
+}
+
+// fwdPayload is what the leader sends to the follower for each ordered
+// input: the order index plus the original authenticated wire bytes, so the
+// follower re-verifies authenticity independently (a faulty leader cannot
+// forge inputs past the follower, by A5).
+type fwdPayload struct {
+	Index uint64
+	Raw   []byte
+}
+
+func (f fwdPayload) marshal() []byte {
+	w := codec.NewWriter(len(f.Raw) + 16)
+	w.U64(f.Index)
+	w.Bytes32(f.Raw)
+	return w.Bytes()
+}
+
+func unmarshalFwdPayload(b []byte) (fwdPayload, error) {
+	r := codec.NewReader(b)
+	f := fwdPayload{Index: r.U64()}
+	f.Raw = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return fwdPayload{}, fmt.Errorf("failsignal: decoding fwd payload: %w", err)
+	}
+	return f, nil
+}
+
+// failSignalBody returns the canonical fail-signal OutputBody for an FS
+// process. Both Compare threads construct the identical body at start-up,
+// so either one's counter-signature over the other's envelope yields the
+// unique, verifiable fail-signal of the process.
+func failSignalBody(name string) OutputBody {
+	return OutputBody{Source: name, FailSignal: true}
+}

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+
+	"fsnewtop/internal/sm"
+)
+
+// echo is a minimal deterministic machine: one output per "req" input.
+type echo struct{ n int }
+
+func (e *echo) Step(in sm.Input) []sm.Output {
+	if in.Kind != "req" {
+		return nil
+	}
+	e.n++
+	return []sm.Output{{Kind: "resp", To: []string{"x"}, Payload: []byte(fmt.Sprintf("out%03d", e.n))}}
+}
+
+func run(m sm.Machine, steps int) [][]sm.Output {
+	var all [][]sm.Output
+	for i := 0; i < steps; i++ {
+		all = append(all, m.Step(sm.Input{Kind: "req"}))
+	}
+	return all
+}
+
+func TestCorruptOutputSingleShot(t *testing.T) {
+	m := &CorruptOutput{Inner: &echo{}, After: 1}
+	outs := run(m, 3)
+	if string(outs[0][0].Payload) != "out001" {
+		t.Fatalf("output before After corrupted: %q", outs[0][0].Payload)
+	}
+	if string(outs[1][0].Payload) == "out002" {
+		t.Fatal("target output not corrupted")
+	}
+	if string(outs[2][0].Payload) != "out003" {
+		t.Fatalf("single-shot corruption kept going: %q", outs[2][0].Payload)
+	}
+}
+
+func TestCorruptOutputPeriodic(t *testing.T) {
+	m := &CorruptOutput{Inner: &echo{}, After: 0, Every: 2}
+	outs := run(m, 4)
+	corrupted := 0
+	for i, o := range outs {
+		if string(o[0].Payload) != fmt.Sprintf("out%03d", i+1) {
+			corrupted++
+		}
+	}
+	if corrupted != 2 {
+		t.Fatalf("corrupted %d of 4, want 2", corrupted)
+	}
+}
+
+func TestDropOutput(t *testing.T) {
+	m := &DropOutput{Inner: &echo{}, After: 2}
+	outs := run(m, 4)
+	if len(outs[0]) != 1 || len(outs[1]) != 1 {
+		t.Fatal("outputs before After dropped")
+	}
+	if len(outs[2]) != 0 || len(outs[3]) != 0 {
+		t.Fatal("outputs after After not dropped")
+	}
+}
+
+func TestDuplicateOutput(t *testing.T) {
+	m := &DuplicateOutput{Inner: &echo{}, After: 1}
+	outs := run(m, 2)
+	if len(outs[0]) != 1 {
+		t.Fatalf("first output duplicated early: %d", len(outs[0]))
+	}
+	if len(outs[1]) != 2 {
+		t.Fatalf("second output not duplicated: %d", len(outs[1]))
+	}
+	if !sm.OutputsEqual(outs[1][0], outs[1][1]) {
+		t.Fatal("duplicate differs from original")
+	}
+}
+
+func TestMuteInputs(t *testing.T) {
+	m := &MuteInputs{Inner: &echo{}, Kinds: []string{"req"}, After: 1}
+	outs := run(m, 3)
+	if len(outs[0]) != 1 {
+		t.Fatal("input muted before After")
+	}
+	if len(outs[1]) != 0 || len(outs[2]) != 0 {
+		t.Fatal("inputs not muted after After")
+	}
+}
+
+func TestSlowStepPreservesOutputs(t *testing.T) {
+	m := &SlowStep{Inner: &echo{}, After: 0, Delay: 0}
+	outs := run(m, 2)
+	if len(outs[0]) != 1 || len(outs[1]) != 1 {
+		t.Fatal("SlowStep altered outputs")
+	}
+}
+
+func TestLyingAppMasks(t *testing.T) {
+	correct := func(req []byte) []byte { return []byte("result") }
+	honest := &LyingApp{Inner: correct, After: 1}
+	if got := honest.Apply(nil); string(got) != "result" {
+		t.Fatalf("lied before After: %q", got)
+	}
+	if got := honest.Apply(nil); string(got) == "result" {
+		t.Fatal("did not lie after After")
+	}
+
+	a := &LyingApp{Inner: correct, Mask: 0x0F}
+	b := &LyingApp{Inner: correct, Mask: 0xF0}
+	ra, rb := a.Apply(nil), b.Apply(nil)
+	if string(ra) == string(rb) {
+		t.Fatal("independent liars agreed")
+	}
+	if string(ra) == "result" || string(rb) == "result" {
+		t.Fatal("liars told the truth")
+	}
+
+	empty := &LyingApp{Inner: func([]byte) []byte { return nil }}
+	if got := empty.Apply(nil); len(got) == 0 {
+		t.Fatal("empty-result lie produced nothing")
+	}
+}

@@ -1,0 +1,32 @@
+package fsnewtop
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/group"
+)
+
+func TestDebugLost(t *testing.T) {
+	c := newCluster(t, 3, func(name string, cfg *Config) {
+		cfg.OnFailSignal = func(reason string) { fmt.Println("FAILSIGNAL", name, reason) }
+	})
+	c.joinAll(t, "g")
+	const per = 10
+	for i := 0; i < per; i++ {
+		for _, m := range c.members {
+			if err := c.nsos[m].Multicast("g", group.TotalSym, []byte(fmt.Sprintf("%s#%d", m, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	time.Sleep(8 * time.Second)
+	for _, m := range c.members {
+		fmt.Println(m, "delivered", len(c.cols[m].payloads()))
+		p := c.nsos[m].Pair()
+		fmt.Printf("  leader stats %+v failed=%v\n", p.Leader.Stats(), p.Leader.Failed())
+		fmt.Printf("  follower stats %+v failed=%v\n", p.Follower.Stats(), p.Follower.Failed())
+	}
+	fmt.Println("m00 payloads:", c.cols["m00"].payloads())
+}

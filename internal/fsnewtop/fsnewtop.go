@@ -1,0 +1,283 @@
+// Package fsnewtop implements FS-NewTOP (Section 3.1): the Byzantine-
+// tolerant extension of crash-tolerant NewTOP, obtained by replacing each
+// member's crash-prone GC process with a fail-signal process (a
+// self-checking replica pair, package internal/core) and its ping-based
+// failure suspector with one that converts verified fail-signals into
+// suspicions that cannot be false.
+//
+// The wrapping is transparent in the paper's sense: the invocation layer
+// still invokes the member's "<name>/gc" object through the ORB; a client
+// interceptor catches those calls on the fly and re-issues them as signed
+// inputs to both replicas of the FS pair, with the leader FSO ordering
+// them identically for GC and GC'. Returning double-signed outputs are
+// verified, stripped of signatures and de-duplicated before the invocation
+// layer sees them — the interceptor technique of the Eternal system
+// [NMM99, NMM00] that the paper adopts. The GC machine itself (package
+// group) is byte-for-byte the same state machine NewTOP runs; only its
+// suspector mode differs.
+//
+// Deployment cost (Section 3.1): masking f Byzantine faults at the
+// application level needs 2f+1 application replicas, each with its own
+// FS-GC of two nodes — 4f+2 nodes in total, f+1 more than the 3f+1
+// optimum of traditional BFT protocols. NodesRequired makes the
+// arithmetic testable.
+package fsnewtop
+
+import (
+	"fmt"
+	"time"
+
+	"fsnewtop/internal/clock"
+	failsignal "fsnewtop/internal/core"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/orb"
+	"fsnewtop/internal/sig"
+	"fsnewtop/internal/sm"
+)
+
+// NodesRequired returns the node count FS-NewTOP needs to mask f Byzantine
+// faults: 2f+1 application replicas, each with a two-node FS middleware
+// pair (Figure 4).
+func NodesRequired(f int) int { return 4*f + 2 }
+
+// BFTNodesRequired returns the traditional Byzantine-tolerant requirement
+// the paper compares against.
+func BFTNodesRequired(f int) int { return 3*f + 1 }
+
+// ReplicasRequired returns the application replica count for masking f
+// Byzantine faults by majority voting (2f+1).
+func ReplicasRequired(f int) int { return 2*f + 1 }
+
+// Fabric is the shared deployment substrate for an FS-NewTOP cluster: one
+// per test/benchmark/example deployment.
+type Fabric struct {
+	Net    *netsim.Network
+	Naming *orb.Naming
+	Clock  clock.Clock
+	Dir    *failsignal.Directory
+	Keys   *sig.Directory
+	// NewSigner builds signers for Compare threads and invocation layers.
+	// Nil selects HMAC (fast; for benchmarks isolating protocol cost).
+	NewSigner func(id sig.ID) (sig.Signer, error)
+}
+
+// NewFabric assembles a fabric over one network.
+func NewFabric(net *netsim.Network, clk clock.Clock) *Fabric {
+	return &Fabric{
+		Net:    net,
+		Naming: orb.NewNaming(),
+		Clock:  clk,
+		Dir:    failsignal.NewDirectory(),
+		Keys:   sig.NewDirectory(),
+	}
+}
+
+// Config configures one FS-NewTOP member.
+type Config struct {
+	// Name is the member's logical name; its FS-GC pair is registered
+	// under this name in the fail-signal directory.
+	Name string
+	// Fabric is the shared deployment substrate.
+	Fabric *Fabric
+	// Peers are the other members' names: they are watchers of this
+	// member's fail-signal (their GCs must learn of our failure).
+	Peers []string
+	// Delta is δ for the pair's synchronous link. 0 = 5ms.
+	Delta time.Duration
+	// Kappa, Sigma: see failsignal.ReplicaConfig (0 = paper's 2).
+	Kappa, Sigma float64
+	// TickInterval paces the leader's ordered tick stream. 0 = 20ms.
+	TickInterval time.Duration
+	// SyncLink, if non-nil, is applied to the pair's leader↔follower link.
+	SyncLink *netsim.Profile
+	// PoolSize is the invocation-side ORB pool size (0 = default 10).
+	PoolSize int
+	// GC tunes the protocol machine. Self and Mode are set here.
+	GC group.Config
+	// OnFailSignal observes this pair's own failure (test hook).
+	OnFailSignal func(reason string)
+}
+
+// NSO is a Byzantine-tolerant FS-NewTOP member. It implements
+// newtop.Service, so applications cannot tell it from a crash-tolerant
+// NSO — which is the point.
+type NSO struct {
+	name       string
+	orb        *orb.ORB
+	pair       *failsignal.Pair
+	client     *failsignal.Client
+	deliveries chan newtop.Delivery
+	views      chan newtop.View
+	failures   chan string
+}
+
+var _ newtop.Service = (*NSO)(nil)
+
+// invName returns the logical name of a member's invocation endpoint.
+func invName(member string) string { return member + "/inv" }
+
+// New builds and starts one FS-NewTOP member: the FS pair wrapping its GC
+// machine, the invocation-layer endpoint, and the interceptor that
+// redirects GC-bound ORB calls into the pair.
+func New(cfg Config) (*NSO, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fsnewtop: member needs a name")
+	}
+	if cfg.Fabric == nil {
+		return nil, fmt.Errorf("fsnewtop: member %q needs a fabric", cfg.Name)
+	}
+	fab := cfg.Fabric
+	if cfg.Delta == 0 {
+		cfg.Delta = 5 * time.Millisecond
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 20 * time.Millisecond
+	}
+	newSigner := fab.NewSigner
+	if newSigner == nil {
+		newSigner = func(id sig.ID) (sig.Signer, error) {
+			return sig.NewHMACSigner(id, []byte("hmac-key:"+string(id))), nil
+		}
+	}
+
+	n := &NSO{
+		name:       cfg.Name,
+		deliveries: make(chan newtop.Delivery, 8192),
+		views:      make(chan newtop.View, 1024),
+		failures:   make(chan string, 64),
+	}
+
+	// Invocation-layer endpoint: a plain process in the FS directory that
+	// receives the pair's double-signed outputs.
+	inv := invName(cfg.Name)
+	invAddr := netsim.Addr("addr:" + inv)
+	receiver := failsignal.NewReceiver(fab.Dir, fab.Keys, n.onOutput, n.onFailSignal)
+	fab.Net.Register(invAddr, receiver.Handle)
+	fab.Dir.RegisterPlain(inv, invAddr)
+
+	invSigner, err := newSigner(sig.ID(inv))
+	if err != nil {
+		return nil, fmt.Errorf("fsnewtop: signer for %q: %w", inv, err)
+	}
+	if err := fab.Keys.RegisterSigner(invSigner); err != nil {
+		return nil, err
+	}
+	n.client = failsignal.NewClient(inv, invAddr, invSigner, fab.Net, fab.Dir)
+
+	// The GC machine: identical to crash NewTOP's, with the fail-signal
+	// suspector selected.
+	gcCfg := cfg.GC
+	gcCfg.Self = cfg.Name
+	gcCfg.Mode = group.SuspectFailSignal
+
+	pair, err := failsignal.NewPair(failsignal.PairConfig{
+		Name:         cfg.Name,
+		NewMachine:   func() sm.Machine { return group.New(gcCfg) },
+		Net:          fab.Net,
+		Clock:        fab.Clock,
+		Dir:          fab.Dir,
+		Keys:         fab.Keys,
+		NewSigner:    newSigner,
+		Delta:        cfg.Delta,
+		Kappa:        cfg.Kappa,
+		Sigma:        cfg.Sigma,
+		TickInterval: cfg.TickInterval,
+		LocalName:    inv,
+		Watchers:     cfg.Peers,
+		SyncLink:     cfg.SyncLink,
+		OnFailSignal: cfg.OnFailSignal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.pair = pair
+
+	// The app-side ORB with the wrapping interceptor: calls addressed to
+	// "<name>/gc" are caught on the fly and re-issued as signed inputs to
+	// both FSOs. The invocation layer's code path is unchanged from
+	// crash-tolerant NewTOP.
+	o, err := orb.New(orb.Config{
+		Addr:     newtop.NodeAddr(cfg.Name),
+		Net:      fab.Net,
+		Naming:   fab.Naming,
+		PoolSize: cfg.PoolSize,
+	})
+	if err != nil {
+		pair.Close()
+		return nil, err
+	}
+	gcRef := newtop.GCRef(cfg.Name)
+	o.AddClientInterceptor(func(next orb.Handler) orb.Handler {
+		return func(req *orb.Request) orb.Reply {
+			if req.Target != gcRef {
+				return next(req)
+			}
+			if err := n.client.Send(cfg.Name, req.Method, req.Arg.Bytes()); err != nil {
+				return orb.Reply{Err: err.Error()}
+			}
+			return orb.Reply{}
+		}
+	})
+	n.orb = o
+	return n, nil
+}
+
+// onOutput receives one verified, de-duplicated FS output addressed to the
+// invocation layer and converts it back into an application event.
+func (n *NSO) onOutput(source string, out sm.Output) {
+	switch out.Kind {
+	case group.KindDeliver:
+		if d, err := group.UnmarshalDeliver(out.Payload); err == nil {
+			n.deliveries <- newtop.Delivery{Group: d.Group, Origin: d.Origin, Service: d.Service, Payload: d.Payload}
+		}
+	case group.KindView:
+		if v, err := group.UnmarshalViewNote(out.Payload); err == nil {
+			n.views <- newtop.View{Group: v.Group, ViewID: v.ViewID, Members: v.Members}
+		}
+	}
+}
+
+// onFailSignal surfaces a fail-signal (usually our own pair's: the
+// invocation layer is in its LocalName destinations) to the application.
+func (n *NSO) onFailSignal(source string) {
+	select {
+	case n.failures <- source:
+	default:
+	}
+}
+
+// Name implements newtop.Service.
+func (n *NSO) Name() string { return n.name }
+
+// Join implements newtop.Service. The call goes through the ORB exactly as
+// in crash NewTOP; the interceptor reroutes it into the FS pair.
+func (n *NSO) Join(groupName string, members []string) error {
+	payload := group.JoinReq{Group: groupName, Members: members}.Marshal()
+	return n.orb.OneWay(newtop.InvRef(n.name), newtop.GCRef(n.name), group.KindJoin, orb.BytesAny(payload))
+}
+
+// Multicast implements newtop.Service.
+func (n *NSO) Multicast(groupName string, svc group.Service, payload []byte) error {
+	req := group.McastReq{Group: groupName, Service: svc, Payload: payload}.Marshal()
+	return n.orb.OneWay(newtop.InvRef(n.name), newtop.GCRef(n.name), group.KindMcast, orb.BytesAny(req))
+}
+
+// Deliveries implements newtop.Service.
+func (n *NSO) Deliveries() <-chan newtop.Delivery { return n.deliveries }
+
+// Views implements newtop.Service.
+func (n *NSO) Views() <-chan newtop.View { return n.views }
+
+// FailSignals streams the sources of received fail-signals.
+func (n *NSO) FailSignals() <-chan string { return n.failures }
+
+// Pair exposes the member's FS pair (fault injection in tests).
+func (n *NSO) Pair() *failsignal.Pair { return n.pair }
+
+// Close implements newtop.Service.
+func (n *NSO) Close() {
+	n.orb.Close()
+	n.pair.Close()
+}

@@ -1,0 +1,416 @@
+package fsnewtop
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/sig"
+)
+
+// collector drains a member's channels.
+type collector struct {
+	mu    sync.Mutex
+	msgs  []newtop.Delivery
+	views []newtop.View
+	fails []string
+	done  chan struct{}
+}
+
+func collect(n *NSO) *collector {
+	c := &collector{done: make(chan struct{})}
+	go func() {
+		for {
+			select {
+			case d := <-n.Deliveries():
+				c.mu.Lock()
+				c.msgs = append(c.msgs, d)
+				c.mu.Unlock()
+			case v := <-n.Views():
+				c.mu.Lock()
+				c.views = append(c.views, v)
+				c.mu.Unlock()
+			case f := <-n.FailSignals():
+				c.mu.Lock()
+				c.fails = append(c.fails, f)
+				c.mu.Unlock()
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+func (c *collector) stop() { close(c.done) }
+
+func (c *collector) payloads() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.msgs))
+	for i, d := range c.msgs {
+		out[i] = string(d.Payload)
+	}
+	return out
+}
+
+func (c *collector) waitN(t *testing.T, n int, d time.Duration) []string {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		got := c.payloads()
+		if len(got) >= n {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d deliveries: %v", len(got), n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (c *collector) lastView() newtop.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.views) == 0 {
+		return newtop.View{}
+	}
+	return c.views[len(c.views)-1]
+}
+
+func (c *collector) failCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fails)
+}
+
+type cluster struct {
+	fab     *Fabric
+	members []string
+	nsos    map[string]*NSO
+	cols    map[string]*collector
+}
+
+func newCluster(t *testing.T, n int, tweak func(name string, cfg *Config)) *cluster {
+	t.Helper()
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)}))
+	t.Cleanup(net.Close)
+	fab := NewFabric(net, clock.NewReal())
+	c := &cluster{fab: fab, nsos: make(map[string]*NSO), cols: make(map[string]*collector)}
+	for i := 0; i < n; i++ {
+		c.members = append(c.members, fmt.Sprintf("m%02d", i))
+	}
+	for _, name := range c.members {
+		peers := make([]string, 0, n-1)
+		for _, p := range c.members {
+			if p != name {
+				peers = append(peers, p)
+			}
+		}
+		cfg := Config{
+			Name:         name,
+			Fabric:       fab,
+			Peers:        peers,
+			Delta:        150 * time.Millisecond,
+			TickInterval: 5 * time.Millisecond,
+			GC:           group.Config{ResendAfter: 20 * time.Millisecond, ViewRetryAfter: 100 * time.Millisecond},
+		}
+		if tweak != nil {
+			tweak(name, &cfg)
+		}
+		nso, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.nsos[name] = nso
+		col := collect(nso)
+		c.cols[name] = col
+		t.Cleanup(func() { col.stop(); nso.Close() })
+	}
+	return c
+}
+
+func (c *cluster) joinAll(t *testing.T, groupName string) {
+	t.Helper()
+	for _, m := range c.members {
+		if err := c.nsos[m].Join(groupName, c.members); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFSNewTOPSymmetricTotalOrder(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.joinAll(t, "g")
+	const per = 10
+	for i := 0; i < per; i++ {
+		for _, m := range c.members {
+			if err := c.nsos[m].Multicast("g", group.TotalSym, []byte(fmt.Sprintf("%s#%d", m, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := per * len(c.members)
+	ref := c.cols[c.members[0]].waitN(t, total, 30*time.Second)
+	for _, m := range c.members[1:] {
+		got := c.cols[m].waitN(t, total, 30*time.Second)
+		if !reflect.DeepEqual(got[:total], ref[:total]) {
+			t.Fatalf("total order differs between %s and %s:\n%v\n%v", c.members[0], m, ref[:total], got[:total])
+		}
+	}
+	// Healthy run: no pair fail-signalled.
+	for _, m := range c.members {
+		if c.nsos[m].Pair().Failed() {
+			t.Fatalf("pair %s fail-signalled in a healthy run", m)
+		}
+	}
+}
+
+func TestFSNewTOPAllServices(t *testing.T) {
+	c := newCluster(t, 2, nil)
+	c.joinAll(t, "g")
+	services := []group.Service{group.Unreliable, group.Reliable, group.Causal, group.TotalSym, group.TotalAsym}
+	for i, svc := range services {
+		if err := c.nsos["m00"].Multicast("g", svc, []byte(fmt.Sprintf("svc%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.cols["m01"].waitN(t, len(services), 20*time.Second)
+	seen := map[string]bool{}
+	for _, p := range got {
+		seen[p] = true
+	}
+	for i := range services {
+		if !seen[fmt.Sprintf("svc%d", i)] {
+			t.Fatalf("service %v missing from %v", services[i], got)
+		}
+	}
+}
+
+// TestFSNewTOPByzantineGCDetectedAndRemoved is the end-to-end failure
+// scenario: one member's GC replica node dies mid-run; its pair
+// fail-signals (comparison timeout) instead of producing unchecked
+// output; the other members convert the fail-signal into a sure suspicion
+// and install a view without it; total ordering continues among the
+// survivors. (Output *corruption* by a replica machine is exercised at the
+// failsignal layer in internal/core's tests; here the fault enters at the
+// node level.)
+func TestFSNewTOPByzantineGCDetectedAndRemoved(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.joinAll(t, "g")
+	if err := c.nsos["m00"].Multicast("g", group.TotalSym, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range c.members {
+		c.cols[m].waitN(t, 1, 20*time.Second)
+	}
+
+	// m02's follower node dies silently; the leader's Compare times out on
+	// the next output and the pair fail-signals.
+	c.nsos["m02"].Pair().Follower.Crash()
+	if err := c.nsos["m00"].Multicast("g", group.TotalSym, []byte("trigger")); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v0, v1 := c.cols["m00"].lastView(), c.cols["m01"].lastView()
+		if reflect.DeepEqual(v0.Members, []string{"m00", "m01"}) &&
+			reflect.DeepEqual(v1.Members, []string{"m00", "m01"}) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors did not reconfigure: %+v %+v", v0, v1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Ordering continues among survivors.
+	if err := c.nsos["m01"].Multicast("g", group.TotalSym, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		p0, p1 := c.cols["m00"].payloads(), c.cols["m01"].payloads()
+		if len(p0) > 0 && len(p1) > 0 && p0[len(p0)-1] == "after" && p1[len(p1)-1] == "after" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors stalled: %v %v", p0, p1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFSNewTOPArbitraryFailSignal covers failure mode fs2: a faulty node
+// emits fail-signals at an arbitrary instant; the group treats the pair as
+// faulty and reconfigures — correctly, because a signalling FS process is
+// necessarily faulty.
+func TestFSNewTOPArbitraryFailSignal(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.joinAll(t, "g")
+	c.nsos["m01"].Pair().Leader.InjectFailSignal()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v0, v2 := c.cols["m00"].lastView(), c.cols["m02"].lastView()
+		if reflect.DeepEqual(v0.Members, []string{"m00", "m02"}) &&
+			reflect.DeepEqual(v2.Members, []string{"m00", "m02"}) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconfiguration after fs2: %+v %+v", v0, v2)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The failed member's own invocation layer was told.
+	deadline = time.Now().Add(10 * time.Second)
+	for c.cols["m01"].failCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("m01's invocation layer never saw its pair's fail-signal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFSNewTOPNoSplitUnderDelay is the responsiveness contrast to crash
+// NewTOP: arbitrary message delay between members causes NO
+// reconfiguration, because suspicion requires a verified fail-signal.
+func TestFSNewTOPNoSplitUnderDelay(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.joinAll(t, "g")
+	// Make m00↔m01 inter-pair traffic crawl (200ms per message, both
+	// directions, all four replica endpoints) for a while.
+	addrs := func(m string) []netsim.Addr {
+		return []netsim.Addr{
+			netsim.Addr(m + "#L"), netsim.Addr(m + "#F"),
+		}
+	}
+	for _, a := range addrs("m00") {
+		for _, b := range addrs("m01") {
+			c.fab.Net.SetLinkProfile(a, b, netsim.Profile{Latency: netsim.Fixed(200 * time.Millisecond)})
+		}
+	}
+	time.Sleep(500 * time.Millisecond)
+	for _, m := range c.members {
+		if v := c.cols[m].lastView(); v.ViewID > 1 {
+			t.Fatalf("%s reconfigured under mere delay: %+v", m, v)
+		}
+		if c.nsos[m].Pair().Failed() {
+			t.Fatalf("%s pair fail-signalled under inter-pair delay", m)
+		}
+	}
+}
+
+func TestFSNewTOPInterceptorTransparency(t *testing.T) {
+	// The GC object is never registered with the ORB or naming service:
+	// if multicasts work, they must have been intercepted and rerouted.
+	c := newCluster(t, 2, nil)
+	if _, ok := c.fab.Naming.Resolve(newtop.GCRef("m00")); ok {
+		t.Fatal("GC object registered in naming; interception not proven")
+	}
+	c.joinAll(t, "g")
+	if err := c.nsos["m00"].Multicast("g", group.TotalSym, []byte("via-interceptor")); err != nil {
+		t.Fatal(err)
+	}
+	got := c.cols["m01"].waitN(t, 1, 20*time.Second)
+	if got[0] != "via-interceptor" {
+		t.Fatalf("delivered %v", got)
+	}
+}
+
+func TestNodeArithmetic(t *testing.T) {
+	for f := 0; f <= 4; f++ {
+		if NodesRequired(f) != 4*f+2 {
+			t.Fatalf("NodesRequired(%d) = %d", f, NodesRequired(f))
+		}
+		if BFTNodesRequired(f) != 3*f+1 {
+			t.Fatalf("BFTNodesRequired(%d) = %d", f, BFTNodesRequired(f))
+		}
+		if ReplicasRequired(f) != 2*f+1 {
+			t.Fatalf("ReplicasRequired(%d) = %d", f, ReplicasRequired(f))
+		}
+		// The paper's cost claim: f+1 more nodes than the BFT optimum.
+		if NodesRequired(f)-BFTNodesRequired(f) != f+1 {
+			t.Fatalf("cost delta wrong for f=%d", f)
+		}
+	}
+}
+
+func TestFSNewTOPConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nameless member accepted")
+	}
+	if _, err := New(Config{Name: "x"}); err == nil {
+		t.Fatal("fabricless member accepted")
+	}
+}
+
+// TestFSNewTOPWithRSASignatures runs the stack under the paper's actual
+// signing scheme (MD5 with RSA) end to end.
+func TestFSNewTOPWithRSASignatures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA key generation is slow")
+	}
+	c := newCluster(t, 2, func(name string, cfg *Config) {
+		cfg.Fabric.NewSigner = func(id sig.ID) (sig.Signer, error) {
+			return sig.NewRSASigner(id, sig.RSAKeySize, nil)
+		}
+	})
+	c.joinAll(t, "g")
+	for i := 0; i < 3; i++ {
+		if err := c.nsos["m00"].Multicast("g", group.TotalSym, []byte(fmt.Sprintf("rsa-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.cols["m01"].waitN(t, 3, 30*time.Second)
+	if got[0] != "rsa-0" || got[2] != "rsa-2" {
+		t.Fatalf("delivered %v", got)
+	}
+	for _, m := range c.members {
+		if c.nsos[m].Pair().Failed() {
+			t.Fatalf("pair %s fail-signalled under RSA", m)
+		}
+	}
+}
+
+// TestFSNewTOPMultipleGroups: one FS member participating in two groups,
+// as NewTOP permits ("permits Ai to be a member of more than one group at
+// the same time").
+func TestFSNewTOPMultipleGroups(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	g1 := []string{"m00", "m01"}
+	g2 := []string{"m01", "m02"}
+	for _, m := range g1 {
+		if err := c.nsos[m].Join("g1", g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range g2 {
+		if err := c.nsos[m].Join("g2", g2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.nsos["m00"].Multicast("g1", group.TotalSym, []byte("in-g1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.nsos["m02"].Multicast("g2", group.TotalSym, []byte("in-g2")); err != nil {
+		t.Fatal(err)
+	}
+	got := c.cols["m01"].waitN(t, 2, 20*time.Second)
+	seen := map[string]bool{got[0]: true, got[1]: true}
+	if !seen["in-g1"] || !seen["in-g2"] {
+		t.Fatalf("dual-group member delivered %v", got)
+	}
+	// m00 must never see g2 traffic.
+	time.Sleep(100 * time.Millisecond)
+	for _, p := range c.cols["m00"].payloads() {
+		if p == "in-g2" {
+			t.Fatal("non-member delivered g2 traffic")
+		}
+	}
+}

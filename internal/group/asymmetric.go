@@ -1,0 +1,79 @@
+package group
+
+import "sort"
+
+// assignGlobals is the sequencer side of asymmetric total order: allocate
+// the next global positions to the given messages and announce them. The
+// sequencer's epoch is the view id, so stale assignments are recognisable
+// after membership changes.
+func (m *Machine) assignGlobals(g *groupState, keys []asymKey) {
+	assigns := make([]SeqAssign, 0, len(keys))
+	for _, k := range keys {
+		global := g.nextGlobal
+		g.nextGlobal++
+		g.asymByGlobal[global] = k
+		assigns = append(assigns, SeqAssign{Origin: k.origin, SenderSeq: k.seq, Global: global})
+	}
+	msg := SeqMsg{Group: g.name, Epoch: g.viewID, Assignments: assigns}
+	m.emit(KindSeq, g.others(m.cfg.Self), msg.Marshal())
+	m.drainAsym(g)
+}
+
+// onSeq applies sequencer assignments at a non-sequencer member.
+func (m *Machine) onSeq(from string, s SeqMsg) {
+	g, ok := m.groups[s.Group]
+	if !ok || from != g.sequencer() || s.Epoch != g.viewID {
+		return
+	}
+	for _, a := range s.Assignments {
+		g.asymByGlobal[a.Global] = asymKey{a.Origin, a.SenderSeq}
+	}
+	m.drainAsym(g)
+}
+
+// drainAsym delivers asymmetric-order messages in global order, stalling
+// on the first position whose assignment or data has not yet arrived.
+func (m *Machine) drainAsym(g *groupState) {
+	for {
+		k, ok := g.asymByGlobal[g.nextAsymDeliver]
+		if !ok {
+			return
+		}
+		d, have := g.asymData[k]
+		if !have {
+			return
+		}
+		delete(g.asymByGlobal, g.nextAsymDeliver)
+		g.nextAsymDeliver++
+		s := g.stream(k.origin)
+		if k.seq > s.asymDelivered {
+			s.asymDelivered = k.seq
+			m.deliver(g, k.origin, TotalAsym, d.Payload)
+		}
+		// Delivered data is retained (bounded) so that a new sequencer can
+		// re-sequence after a view change without a state transfer;
+		// watermarks suppress re-delivery.
+		if k.seq > sentRetention {
+			delete(g.asymData, asymKey{k.origin, k.seq - sentRetention})
+		}
+	}
+}
+
+// resequence re-assigns every undelivered asymmetric message after a view
+// change, in deterministic (origin, senderSeq) order. Runs on the new
+// sequencer only.
+func (m *Machine) resequence(g *groupState) {
+	keys := make([]asymKey, 0, len(g.asymData))
+	for k := range g.asymData {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	if len(keys) > 0 {
+		m.assignGlobals(g, keys)
+	}
+}

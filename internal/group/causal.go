@@ -1,0 +1,50 @@
+package group
+
+// drainCausal delivers pending causal messages whose precedence is
+// satisfied, looping until a fixed point (one delivery can enable others).
+//
+// A message d from origin o is deliverable when d is the next causal
+// message from o (VC[o] == delivered[o]+1) and every delivery d's sender
+// had seen has happened here too (VC[q] <= delivered[q] for q ≠ o).
+// Vector entries for processes no longer in the view are ignored: their
+// missing messages can never arrive (Section 3's partitionable model
+// discards the failed partition's unseen prefix).
+func (m *Machine) drainCausal(g *groupState) {
+	for {
+		progressed := false
+		for i := 0; i < len(g.causalPend); i++ {
+			d := g.causalPend[i]
+			if !m.causalReady(g, d) {
+				continue
+			}
+			g.causalPend = append(g.causalPend[:i], g.causalPend[i+1:]...)
+			g.causalD[d.Origin]++
+			m.deliver(g, d.Origin, Causal, d.Payload)
+			progressed = true
+			i--
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// causalReady checks d's vector against the delivery vector.
+func (m *Machine) causalReady(g *groupState, d DataMsg) bool {
+	for _, e := range d.VC {
+		if e.Member != d.Origin && !g.isMember(e.Member) {
+			continue
+		}
+		have := g.causalD[e.Member]
+		if e.Member == d.Origin {
+			if e.Count != have+1 {
+				return false
+			}
+			continue
+		}
+		if e.Count > have {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+package group
+
+import (
+	"sort"
+	"time"
+
+	failsignal "fsnewtop/internal/core"
+	"fsnewtop/internal/sm"
+)
+
+// SuspectorMode selects how the machine learns about failures.
+type SuspectorMode int
+
+const (
+	// SuspectPing is crash-NewTOP's suspector: periodic pings with a
+	// timeout. Suspicions can be false, so groups can split without any
+	// failure (Section 1).
+	SuspectPing SuspectorMode = iota + 1
+	// SuspectFailSignal is FS-NewTOP's suspector: it converts verified
+	// fail-signals into suspicions ("the suspicions generated in
+	// FS-NewTOP, unlike those in NewTOP, cannot be false", Section 3.1).
+	SuspectFailSignal
+)
+
+// Config parameterises a GC machine.
+type Config struct {
+	// Self is this process's logical name, as peers address it.
+	Self string
+	// Mode selects the failure suspector.
+	Mode SuspectorMode
+	// PingInterval paces pings in SuspectPing mode. Default 500ms.
+	PingInterval time.Duration
+	// SuspectAfter is the silence threshold in SuspectPing mode.
+	// Default 2s.
+	SuspectAfter time.Duration
+	// ResendAfter paces NACKs for detected gaps. Default 200ms.
+	ResendAfter time.Duration
+	// ViewRetryAfter bounds how long a member waits on a stalled view
+	// change before (re-)proposing. Default 1s.
+	ViewRetryAfter time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Mode == 0 {
+		c.Mode = SuspectPing
+	}
+	if c.PingInterval == 0 {
+		c.PingInterval = 500 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2 * time.Second
+	}
+	if c.ResendAfter == 0 {
+		c.ResendAfter = 200 * time.Millisecond
+	}
+	if c.ViewRetryAfter == 0 {
+		c.ViewRetryAfter = time.Second
+	}
+}
+
+// Machine is the deterministic GC state machine. It implements sm.Machine
+// and must be driven single-threaded.
+type Machine struct {
+	cfg    Config
+	now    time.Time
+	groups map[string]*groupState
+	// lastHeard tracks process-level peer liveness (SuspectPing mode).
+	lastHeard map[string]time.Time
+	lastPing  time.Time
+	// outs accumulates the current step's outputs.
+	outs []sm.Output
+}
+
+// New returns a GC machine for the given configuration.
+func New(cfg Config) *Machine {
+	cfg.fillDefaults()
+	return &Machine{
+		cfg:       cfg,
+		groups:    make(map[string]*groupState),
+		lastHeard: make(map[string]time.Time),
+	}
+}
+
+var _ sm.Machine = (*Machine)(nil)
+
+// emit queues one output for the current step.
+func (m *Machine) emit(kind string, to []string, payload []byte) {
+	if len(to) == 0 {
+		return
+	}
+	m.outs = append(m.outs, sm.Output{Kind: kind, To: to, Payload: payload})
+}
+
+// emitLocal queues one output for the local application.
+func (m *Machine) emitLocal(kind string, payload []byte) {
+	m.outs = append(m.outs, sm.Output{Kind: kind, To: []string{sm.LocalDelivery}, Payload: payload})
+}
+
+// deliver emits one application delivery.
+func (m *Machine) deliver(g *groupState, origin string, svc Service, payload []byte) {
+	m.emitLocal(KindDeliver, Deliver{Group: g.name, Origin: origin, Service: svc, Payload: payload}.Marshal())
+}
+
+// Step implements sm.Machine.
+func (m *Machine) Step(in sm.Input) []sm.Output {
+	m.outs = m.outs[:0]
+	if in.From != "" && in.From != m.cfg.Self {
+		m.lastHeard[in.From] = m.now
+	}
+	switch in.Kind {
+	case sm.TickKind:
+		if t, err := sm.DecodeTick(in.Payload); err == nil {
+			if t.After(m.now) {
+				m.now = t
+			}
+			m.onTick()
+		}
+	case KindJoin:
+		if j, err := UnmarshalJoinReq(in.Payload); err == nil {
+			m.onJoin(j)
+		}
+	case KindLeave:
+		if l, err := UnmarshalLeaveReq(in.Payload); err == nil {
+			m.onLeave(l)
+		}
+	case KindMcast:
+		if req, err := UnmarshalMcastReq(in.Payload); err == nil {
+			m.onMcast(req)
+		}
+	case KindData:
+		if d, err := UnmarshalDataMsg(in.Payload); err == nil {
+			m.onData(in.From, d)
+		}
+	case KindAck:
+		if a, err := UnmarshalAckMsg(in.Payload); err == nil {
+			m.onAck(in.From, a)
+		}
+	case KindSeq:
+		if s, err := UnmarshalSeqMsg(in.Payload); err == nil {
+			m.onSeq(in.From, s)
+		}
+	case KindNack:
+		if n, err := UnmarshalNackMsg(in.Payload); err == nil {
+			m.onNack(in.From, n)
+		}
+	case KindPing:
+		// Pong only while the pinger still shares a group with us: a
+		// member expelled everywhere must be allowed to notice and
+		// reconfigure on its own side.
+		if in.From != "" && m.sharesGroupWith(in.From) {
+			m.emit(KindPong, []string{in.From}, nil)
+		}
+	case KindPong:
+		// lastHeard already updated above.
+	case KindViewProp:
+		if v, err := UnmarshalViewProp(in.Payload); err == nil {
+			m.onViewProp(in.From, v)
+		}
+	case KindViewAck:
+		if v, err := UnmarshalViewAck(in.Payload); err == nil {
+			m.onViewAck(in.From, v)
+		}
+	case KindViewInstall:
+		if v, err := UnmarshalViewInstall(in.Payload); err == nil {
+			m.onViewInstall(in.From, v)
+		}
+	case failsignal.InputFailSignal:
+		if m.cfg.Mode == SuspectFailSignal && in.From != "" {
+			m.suspectEverywhere(in.From)
+		}
+	}
+	if len(m.outs) == 0 {
+		return nil
+	}
+	out := make([]sm.Output, len(m.outs))
+	copy(out, m.outs)
+	return out
+}
+
+// Groups returns the names of joined groups, sorted. Read-only inspection
+// for drivers and tests.
+func (m *Machine) Groups() []string { return sortedKeys(m.groups) }
+
+// View returns the current view of one group (id 0 when not joined).
+func (m *Machine) View(group string) (uint64, []string) {
+	g, ok := m.groups[group]
+	if !ok {
+		return 0, nil
+	}
+	return g.viewID, append([]string(nil), g.members...)
+}
+
+// onJoin creates local state for a group with static initial membership.
+// Every member is started with the same member list, so all replicas of
+// all members begin in the identical view 1.
+func (m *Machine) onJoin(j JoinReq) {
+	if j.Group == "" || len(j.Members) == 0 {
+		return
+	}
+	if _, exists := m.groups[j.Group]; exists {
+		return
+	}
+	found := false
+	for _, mem := range j.Members {
+		if mem == m.cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	g := newGroupState(j.Group, j.Members)
+	m.groups[j.Group] = g
+	m.emitLocal(KindView, ViewNote{Group: g.name, ViewID: g.viewID, Members: g.members}.Marshal())
+}
+
+// onLeave abandons a group. Peers observe the silence (or our fail-signal)
+// and reconfigure; a graceful leave protocol is not part of the paper's
+// system.
+func (m *Machine) onLeave(l LeaveReq) {
+	delete(m.groups, l.Group)
+}
+
+// onTick advances time-driven behaviour: suspector pings and silence
+// checks, NACK pacing, and stalled-view-change retries.
+func (m *Machine) onTick() {
+	for _, name := range sortedKeys(m.groups) {
+		g := m.groups[name]
+		m.tickNacks(g)
+		m.tickViewChange(g)
+	}
+	if m.cfg.Mode == SuspectPing {
+		m.tickSuspector()
+	}
+}
+
+// peers returns all distinct remote members across groups, sorted.
+func (m *Machine) peers() []string {
+	set := make(map[string]struct{})
+	for _, name := range sortedKeys(m.groups) {
+		for _, mem := range m.groups[name].members {
+			if mem != m.cfg.Self {
+				set[mem] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tickSuspector pings peers and converts prolonged silence into
+// suspicions. This is the timeout mechanism whose false positives split
+// groups in crash-NewTOP.
+func (m *Machine) tickSuspector() {
+	peers := m.peers()
+	if len(peers) == 0 {
+		return
+	}
+	if m.lastPing.IsZero() || m.now.Sub(m.lastPing) >= m.cfg.PingInterval {
+		m.lastPing = m.now
+		m.emit(KindPing, peers, nil)
+	}
+	for _, p := range peers {
+		last, ok := m.lastHeard[p]
+		if !ok || last.IsZero() {
+			// Unheard-from or heard before our own clock started (inputs
+			// can arrive ahead of the first tick): start the silence
+			// window now rather than from the zero time.
+			m.lastHeard[p] = m.now
+			continue
+		}
+		if m.now.Sub(last) > m.cfg.SuspectAfter {
+			m.suspectEverywhere(p)
+		}
+	}
+}
+
+// suspectEverywhere marks peer suspected in every group that contains it
+// and kicks off the membership protocol.
+func (m *Machine) suspectEverywhere(peer string) {
+	for _, name := range sortedKeys(m.groups) {
+		g := m.groups[name]
+		if g.isMember(peer) && !g.suspects[peer] {
+			g.suspects[peer] = true
+			m.maybePropose(g)
+		}
+	}
+}

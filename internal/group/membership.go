@@ -1,0 +1,297 @@
+package group
+
+import "sort"
+
+// maybePropose starts (or restarts) a view change if this member is the
+// coordinator — the least non-suspected member — for the current suspect
+// set. Called whenever suspicions change and from the tick retry.
+func (m *Machine) maybePropose(g *groupState) {
+	if len(g.suspects) == 0 {
+		return
+	}
+	candidate := g.candidateMembers()
+	if len(candidate) == 0 || candidate[0] != m.cfg.Self {
+		return
+	}
+	if g.change != nil && sameMembers(g.change.members, candidate) && g.change.acks != nil {
+		return // already coordinating exactly this change
+	}
+	m.propose(g, candidate)
+}
+
+// propose issues a fresh proposal epoch for the candidate membership and
+// records the coordinator's own acknowledgement.
+func (m *Machine) propose(g *groupState, candidate []string) {
+	g.lastEpoch++
+	g.change = &viewChange{
+		viewID:    g.viewID + 1,
+		epoch:     g.lastEpoch,
+		members:   candidate,
+		acks:      make(map[string]ViewAck, len(candidate)),
+		startedAt: m.now,
+	}
+	prop := ViewProp{Group: g.name, ViewID: g.change.viewID, Epoch: g.change.epoch, Members: candidate}
+	to := make([]string, 0, len(candidate)-1)
+	for _, c := range candidate {
+		if c != m.cfg.Self {
+			to = append(to, c)
+		}
+	}
+	m.emit(KindViewProp, to, prop.Marshal())
+	g.change.acks[m.cfg.Self] = ViewAck{
+		Group:   g.name,
+		ViewID:  g.change.viewID,
+		Epoch:   g.change.epoch,
+		Pending: append([]DataMsg(nil), g.pendingSym...),
+	}
+	m.checkInstall(g)
+}
+
+// onViewProp handles a coordinator's proposal: adopt its exclusions,
+// accept it if it beats the proposal we are currently on, and reply with
+// our pending messages for the flush.
+func (m *Machine) onViewProp(from string, v ViewProp) {
+	g, ok := m.groups[v.Group]
+	if !ok || v.ViewID != g.viewID+1 || from == m.cfg.Self {
+		return
+	}
+	sort.Strings(v.Members)
+	if len(v.Members) == 0 || v.Members[0] != from {
+		return // only the least proposed member may coordinate
+	}
+	selfIn := false
+	for _, mem := range v.Members {
+		if !g.isMember(mem) {
+			return // proposal may only shrink the membership
+		}
+		if mem == m.cfg.Self {
+			selfIn = true
+		}
+	}
+	if !selfIn {
+		return
+	}
+	if v.Epoch > g.lastEpoch {
+		g.lastEpoch = v.Epoch
+	}
+	// Adopt the proposer's exclusions (suspicion sharing — this is what
+	// propagates a false suspicion through a partitionable system).
+	for _, mem := range g.members {
+		if !contains(v.Members, mem) && !g.suspects[mem] {
+			g.suspects[mem] = true
+		}
+	}
+	// A re-sent proposal we already adopted is re-acknowledged (the
+	// coordinator may have missed our ack); a strictly better proposal
+	// replaces the current one; anything else is ignored.
+	switch {
+	case g.change != nil && v.Epoch == g.change.epoch && from == g.change.members[0] && sameMembers(v.Members, g.change.members):
+		// re-ack below
+	case g.change == nil || v.Epoch > g.change.epoch ||
+		(v.Epoch == g.change.epoch && from < g.change.members[0]):
+		g.change = &viewChange{viewID: v.ViewID, epoch: v.Epoch, members: v.Members, startedAt: m.now}
+	default:
+		return
+	}
+	ack := ViewAck{
+		Group:   g.name,
+		ViewID:  v.ViewID,
+		Epoch:   v.Epoch,
+		Pending: append([]DataMsg(nil), g.pendingSym...),
+	}
+	m.emit(KindViewAck, []string{from}, ack.Marshal())
+}
+
+// onViewAck collects acknowledgements at the coordinator and installs the
+// view once every proposed member has acked this epoch.
+func (m *Machine) onViewAck(from string, v ViewAck) {
+	g, ok := m.groups[v.Group]
+	if !ok || g.change == nil || g.change.acks == nil {
+		return
+	}
+	c := g.change
+	// Older-epoch acks for the same target view still count: epochs only
+	// disambiguate proposals whose member sets changed, and membership is
+	// re-validated at install time. Requiring exact epochs would livelock
+	// whenever the ack round-trip exceeds the retry interval.
+	if v.ViewID != c.viewID || v.Epoch > c.epoch || !contains(c.members, from) {
+		return
+	}
+	c.acks[from] = v
+	m.checkInstall(g)
+}
+
+// checkInstall fires the installation once the coordinator holds acks from
+// every proposed member: it unions the reported pending sets into the
+// flush, broadcasts the install, and installs locally.
+func (m *Machine) checkInstall(g *groupState) {
+	c := g.change
+	if c == nil || c.acks == nil || len(c.acks) != len(c.members) {
+		return
+	}
+	type key struct {
+		origin string
+		seq    uint64
+	}
+	seen := make(map[key]bool)
+	var flush []DataMsg
+	for _, member := range sortedKeys(c.acks) {
+		for _, d := range c.acks[member].Pending {
+			k := key{d.Origin, d.SenderSeq}
+			if !seen[k] {
+				seen[k] = true
+				flush = append(flush, d)
+			}
+		}
+	}
+	sortFlush(flush)
+	install := ViewInstall{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, Members: c.members, Flush: flush}
+	to := make([]string, 0, len(c.members)-1)
+	for _, mem := range c.members {
+		if mem != m.cfg.Self {
+			to = append(to, mem)
+		}
+	}
+	m.emit(KindViewInstall, to, install.Marshal())
+	m.doInstall(g, install)
+}
+
+// onViewInstall applies a coordinator's installation at a member.
+func (m *Machine) onViewInstall(from string, v ViewInstall) {
+	g, ok := m.groups[v.Group]
+	if !ok || v.ViewID != g.viewID+1 {
+		return
+	}
+	sort.Strings(v.Members)
+	if len(v.Members) == 0 || v.Members[0] != from || !contains(v.Members, m.cfg.Self) {
+		return
+	}
+	m.doInstall(g, v)
+}
+
+// doInstall delivers the flush set in timestamp order, commits the new
+// membership, resets the sequencer state, and announces the view locally.
+func (m *Machine) doInstall(g *groupState, v ViewInstall) {
+	sortFlush(v.Flush)
+	for _, d := range v.Flush {
+		s := g.stream(d.Origin)
+		if d.SenderSeq <= s.symDelivered {
+			continue
+		}
+		s.symDelivered = d.SenderSeq
+		m.deliver(g, d.Origin, TotalSym, d.Payload)
+	}
+
+	g.viewID = v.ViewID
+	g.members = v.Members
+	if v.Epoch > g.lastEpoch {
+		g.lastEpoch = v.Epoch
+	}
+	g.change = nil
+	for _, s := range sortedKeys(g.suspects) {
+		if contains(v.Members, s) {
+			delete(g.suspects, s) // survived: the suspicion was withdrawn by the change
+		} else {
+			delete(g.suspects, s) // removed: no longer a member to suspect
+		}
+	}
+
+	// Asymmetric order restarts under the new sequencer's epoch.
+	g.asymByGlobal = make(map[uint64]asymKey)
+	g.nextAsymDeliver = 0
+	g.nextGlobal = 0
+	if g.sequencer() == m.cfg.Self {
+		m.resequence(g)
+	}
+
+	// Causal precedence may be satisfiable now that departed members'
+	// entries are ignored; symmetric pending likewise re-evaluates against
+	// the shrunken membership.
+	m.drainCausal(g)
+	m.drainSym(g)
+
+	m.emitLocal(KindView, ViewNote{Group: g.name, ViewID: g.viewID, Members: g.members}.Marshal())
+}
+
+// tickViewChange retries stalled membership work: coordinators re-propose
+// with a fresh epoch, and pending suspicions with no change in flight get
+// a proposal attempt.
+func (m *Machine) tickViewChange(g *groupState) {
+	if len(g.suspects) == 0 {
+		return
+	}
+	if g.change == nil {
+		m.maybePropose(g)
+		return
+	}
+	if m.now.Sub(g.change.startedAt) < m.cfg.ViewRetryAfter {
+		return
+	}
+	candidate := g.candidateMembers()
+	if len(candidate) == 0 || candidate[0] != m.cfg.Self {
+		return
+	}
+	c := g.change
+	if c.acks != nil && sameMembers(c.members, candidate) {
+		// Same candidate set: re-send the standing proposal (messages may
+		// have been lost or slow) instead of minting a fresh epoch, which
+		// would invalidate acks already in flight.
+		c.startedAt = m.now
+		prop := ViewProp{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, Members: c.members}
+		to := make([]string, 0, len(c.members)-1)
+		for _, mem := range c.members {
+			if mem != m.cfg.Self {
+				to = append(to, mem)
+			}
+		}
+		m.emit(KindViewProp, to, prop.Marshal())
+		return
+	}
+	m.propose(g, candidate)
+}
+
+// sharesGroupWith reports whether peer is a member of any group we are in.
+// Pong replies are gated on it, so a member expelled from all common
+// groups stops hearing from us and reconfigures on its side.
+func (m *Machine) sharesGroupWith(peer string) bool {
+	for _, name := range sortedKeys(m.groups) {
+		if m.groups[name].isMember(peer) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFlush orders a flush set by (TS, Origin, SenderSeq).
+func sortFlush(flush []DataMsg) {
+	sort.Slice(flush, func(i, j int) bool {
+		if flush[i].TS != flush[j].TS {
+			return flush[i].TS < flush[j].TS
+		}
+		if flush[i].Origin != flush[j].Origin {
+			return flush[i].Origin < flush[j].Origin
+		}
+		return flush[i].SenderSeq < flush[j].SenderSeq
+	})
+}

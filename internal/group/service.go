@@ -1,0 +1,44 @@
+package group
+
+import "fmt"
+
+// Service selects the delivery quality of one multicast, mirroring the
+// NewTOP service inventory (Sections 1 and 3).
+type Service uint8
+
+const (
+	// Unreliable is simple best-effort multicast: no sequencing, no
+	// retransmission, no ordering.
+	Unreliable Service = iota + 1
+	// Reliable delivers each message exactly once per member, in
+	// per-sender order, retransmitting on gaps.
+	Reliable
+	// Causal delivers messages respecting potential causality.
+	Causal
+	// TotalSym is the symmetric total order protocol: fully decentralised
+	// and message-intensive; every member acknowledges every message.
+	TotalSym
+	// TotalAsym is the asymmetric (fixed-sequencer) total order protocol.
+	TotalAsym
+)
+
+// String implements fmt.Stringer.
+func (s Service) String() string {
+	switch s {
+	case Unreliable:
+		return "unreliable"
+	case Reliable:
+		return "reliable"
+	case Causal:
+		return "causal"
+	case TotalSym:
+		return "total-symmetric"
+	case TotalAsym:
+		return "total-asymmetric"
+	default:
+		return fmt.Sprintf("Service(%d)", uint8(s))
+	}
+}
+
+// valid reports whether s is a known service.
+func (s Service) valid() bool { return s >= Unreliable && s <= TotalAsym }

@@ -1,0 +1,230 @@
+package group
+
+import (
+	"sort"
+	"time"
+)
+
+// sentRetention bounds how many of our own messages we keep per group for
+// retransmission.
+const sentRetention = 4096
+
+// maxNackBatch bounds how many missing sequences one NACK requests.
+const maxNackBatch = 64
+
+// memberStream tracks per-(group, member) reliability and ordering state.
+type memberStream struct {
+	// nextSeq is the next contiguous sender sequence expected (sequences
+	// start at 1).
+	nextSeq uint64
+	// buffered holds out-of-order data awaiting the gap fill.
+	buffered map[uint64]DataMsg
+	// lastNack is when we last requested this member's missing sequences.
+	lastNack time.Time
+	// lastDataTS is the Lamport timestamp of the member's latest in-order
+	// accepted data.
+	lastDataTS uint64
+	// ackTS and ackHW are the member's best acknowledgement: a promise
+	// that its future messages carry timestamps > ackTS, usable once we
+	// hold its data through sequence ackHW.
+	ackTS, ackHW uint64
+	// symDelivered is the highest sender sequence of this member's
+	// symmetric-order messages we have delivered (flush deduplication).
+	symDelivered uint64
+	// asymDelivered is the analogous watermark for asymmetric order.
+	asymDelivered uint64
+}
+
+func newMemberStream() *memberStream {
+	return &memberStream{nextSeq: 1, buffered: make(map[uint64]DataMsg)}
+}
+
+// highestContig is the highest sender sequence received without gaps.
+func (s *memberStream) highestContig() uint64 { return s.nextSeq - 1 }
+
+// effLastTS is the member's effective observed clock: its last in-order
+// data timestamp, raised by its best ack once the ack's watermark is
+// covered. This gating is what keeps retransmitted messages from being
+// overtaken in the total order.
+func (s *memberStream) effLastTS() uint64 {
+	ts := s.lastDataTS
+	if s.ackHW <= s.highestContig() && s.ackTS > ts {
+		ts = s.ackTS
+	}
+	return ts
+}
+
+// asymKey identifies one message for the asymmetric-order maps.
+type asymKey struct {
+	origin string
+	seq    uint64
+}
+
+// viewChange is the in-progress membership agreement for one group.
+type viewChange struct {
+	viewID  uint64
+	epoch   uint64
+	members []string // proposed membership, sorted
+	// acks maps acked members to their reported pending sets
+	// (coordinator side only).
+	acks      map[string]ViewAck
+	startedAt time.Time
+}
+
+// groupState is all machine state for one group.
+type groupState struct {
+	name    string
+	viewID  uint64
+	members []string // sorted, always contains self while joined
+
+	// Lamport clock (symmetric total order).
+	clock uint64
+	// outSeq numbers our own non-unreliable multicasts, starting at 1.
+	outSeq uint64
+	// streams tracks per-member intake state.
+	streams map[string]*memberStream
+	// sent retains our own messages for retransmission.
+	sent map[uint64]DataMsg
+
+	// pendingSym holds accepted symmetric-order messages not yet
+	// deliverable, sorted by (TS, Origin).
+	pendingSym []DataMsg
+
+	// causalD is the causal delivery vector: causalD[self] counts our own
+	// causal sends, causalD[q] counts deliveries from q.
+	causalD map[string]uint64
+	// causalPend holds accepted causal messages awaiting their precedence.
+	causalPend []DataMsg
+
+	// Asymmetric order: the sequencer (least member) assigns globals.
+	nextGlobal      uint64 // sequencer: next global to assign
+	nextAsymDeliver uint64
+	asymData        map[asymKey]DataMsg
+	asymByGlobal    map[uint64]asymKey
+
+	// Membership.
+	suspects map[string]bool
+	change   *viewChange
+	// lastEpoch is the highest proposal epoch seen or used for the next
+	// view; proposals must beat it.
+	lastEpoch uint64
+}
+
+func newGroupState(name string, members []string) *groupState {
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	return &groupState{
+		name:         name,
+		viewID:       1,
+		members:      ms,
+		streams:      make(map[string]*memberStream),
+		sent:         make(map[uint64]DataMsg),
+		causalD:      make(map[string]uint64),
+		asymData:     make(map[asymKey]DataMsg),
+		asymByGlobal: make(map[uint64]asymKey),
+		suspects:     make(map[string]bool),
+	}
+}
+
+// stream returns (creating if needed) the intake state for member m.
+func (g *groupState) stream(m string) *memberStream {
+	s, ok := g.streams[m]
+	if !ok {
+		s = newMemberStream()
+		g.streams[m] = s
+	}
+	return s
+}
+
+// isMember reports whether m is in the current view.
+func (g *groupState) isMember(m string) bool {
+	for _, x := range g.members {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// others returns the current members except self, sorted.
+func (g *groupState) others(self string) []string {
+	out := make([]string, 0, len(g.members)-1)
+	for _, m := range g.members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sequencer is the asymmetric-order sequencer: the least current member.
+func (g *groupState) sequencer() string {
+	if len(g.members) == 0 {
+		return ""
+	}
+	return g.members[0]
+}
+
+// candidateMembers is the current membership minus suspects, sorted.
+func (g *groupState) candidateMembers() []string {
+	out := make([]string, 0, len(g.members))
+	for _, m := range g.members {
+		if !g.suspects[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// insertPendingSym inserts d keeping (TS, Origin) order.
+func (g *groupState) insertPendingSym(d DataMsg) {
+	i := sort.Search(len(g.pendingSym), func(i int) bool {
+		p := g.pendingSym[i]
+		if p.TS != d.TS {
+			return p.TS > d.TS
+		}
+		return p.Origin >= d.Origin
+	})
+	g.pendingSym = append(g.pendingSym, DataMsg{})
+	copy(g.pendingSym[i+1:], g.pendingSym[i:])
+	g.pendingSym[i] = d
+}
+
+// recordSent retains one of our own messages for retransmission, pruning
+// the retention window.
+func (g *groupState) recordSent(d DataMsg) {
+	g.sent[d.SenderSeq] = d
+	if d.SenderSeq > sentRetention {
+		delete(g.sent, d.SenderSeq-sentRetention)
+	}
+}
+
+// minEffLastTS is the minimum effective observed clock across all current
+// members; self's own clock stands in for its stream. Symmetric-order
+// messages with TS at or below this bound are safe to deliver.
+func (g *groupState) minEffLastTS(self string) uint64 {
+	minTS := ^uint64(0)
+	for _, m := range g.members {
+		var ts uint64
+		if m == self {
+			ts = g.clock
+		} else {
+			ts = g.stream(m).effLastTS()
+		}
+		if ts < minTS {
+			minTS = ts
+		}
+	}
+	return minTS
+}
+
+// sortedKeys returns the map's keys in sorted order. Every iteration over
+// a map that can produce outputs must go through this (determinism, R1).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,37 @@
+package group
+
+// onAck records a symmetric-order logical acknowledgement and re-checks
+// deliverability.
+func (m *Machine) onAck(from string, a AckMsg) {
+	g, ok := m.groups[a.Group]
+	if !ok || !g.isMember(from) || from == m.cfg.Self {
+		return
+	}
+	s := g.stream(from)
+	if a.TS > s.ackTS {
+		s.ackTS, s.ackHW = a.TS, a.SendSeqHW
+	}
+	m.drainSym(g)
+}
+
+// drainSym delivers every pending symmetric-order message whose timestamp
+// is covered by all members' observed clocks, in (TS, Origin) order. The
+// delivery condition is the paper's "ordered only after logically
+// acknowledged by all members": a message's position is final once no
+// member can produce (or still have in flight) a message with a smaller
+// timestamp.
+func (m *Machine) drainSym(g *groupState) {
+	for len(g.pendingSym) > 0 {
+		head := g.pendingSym[0]
+		if head.TS > g.minEffLastTS(m.cfg.Self) {
+			return
+		}
+		g.pendingSym = g.pendingSym[1:]
+		s := g.stream(head.Origin)
+		if head.SenderSeq <= s.symDelivered {
+			continue // already delivered via a view-change flush
+		}
+		s.symDelivered = head.SenderSeq
+		m.deliver(g, head.Origin, TotalSym, head.Payload)
+	}
+}

@@ -1,0 +1,449 @@
+package group
+
+import (
+	"fmt"
+
+	"fsnewtop/internal/codec"
+)
+
+// Input kinds consumed by the machine. "Local" kinds come from the
+// co-located invocation layer; the rest arrive from peer GC processes.
+const (
+	// KindJoin (local) creates a group with a static initial membership.
+	KindJoin = "gc.join"
+	// KindLeave (local) announces a graceful departure from a group.
+	KindLeave = "gc.leave"
+	// KindMcast (local) requests a multicast with a given service.
+	KindMcast = "gc.mcast"
+	// KindData carries one multicast message between GC processes.
+	KindData = "gc.data"
+	// KindAck carries a symmetric-order logical acknowledgement.
+	KindAck = "gc.ack"
+	// KindSeq carries sequencer assignments for asymmetric total order.
+	KindSeq = "gc.seq"
+	// KindNack requests retransmission of missing sender sequences.
+	KindNack = "gc.nack"
+	// KindPing and KindPong implement the crash-mode failure suspector.
+	KindPing = "gc.ping"
+	// KindPong answers a ping.
+	KindPong = "gc.pong"
+	// KindViewProp proposes a new view (coordinator → candidates).
+	KindViewProp = "gc.viewprop"
+	// KindViewAck accepts a proposal and reports pending messages.
+	KindViewAck = "gc.viewack"
+	// KindViewInstall commits a new view with its flush set.
+	KindViewInstall = "gc.viewinstall"
+)
+
+// Output kinds produced for the local application (sm.LocalDelivery).
+const (
+	// KindDeliver hands one delivered message to the application.
+	KindDeliver = "gc.deliver"
+	// KindView announces an installed view to the application.
+	KindView = "gc.view"
+)
+
+// JoinReq is the payload of KindJoin.
+type JoinReq struct {
+	Group   string
+	Members []string
+}
+
+// Marshal returns the canonical encoding.
+func (j JoinReq) Marshal() []byte {
+	w := codec.NewWriter(64)
+	w.String(j.Group)
+	w.StringSlice(j.Members)
+	return w.Bytes()
+}
+
+// UnmarshalJoinReq decodes a JoinReq.
+func UnmarshalJoinReq(b []byte) (JoinReq, error) {
+	r := codec.NewReader(b)
+	j := JoinReq{Group: r.String(), Members: r.StringSlice()}
+	if err := r.Finish(); err != nil {
+		return JoinReq{}, fmt.Errorf("group: decoding join: %w", err)
+	}
+	return j, nil
+}
+
+// LeaveReq is the payload of KindLeave.
+type LeaveReq struct {
+	Group string
+}
+
+// Marshal returns the canonical encoding.
+func (l LeaveReq) Marshal() []byte {
+	w := codec.NewWriter(16)
+	w.String(l.Group)
+	return w.Bytes()
+}
+
+// UnmarshalLeaveReq decodes a LeaveReq.
+func UnmarshalLeaveReq(b []byte) (LeaveReq, error) {
+	r := codec.NewReader(b)
+	l := LeaveReq{Group: r.String()}
+	if err := r.Finish(); err != nil {
+		return LeaveReq{}, fmt.Errorf("group: decoding leave: %w", err)
+	}
+	return l, nil
+}
+
+// McastReq is the payload of KindMcast.
+type McastReq struct {
+	Group   string
+	Service Service
+	Payload []byte
+}
+
+// Marshal returns the canonical encoding.
+func (m McastReq) Marshal() []byte {
+	w := codec.NewWriter(len(m.Payload) + 24)
+	w.String(m.Group)
+	w.U8(uint8(m.Service))
+	w.Bytes32(m.Payload)
+	return w.Bytes()
+}
+
+// UnmarshalMcastReq decodes a McastReq.
+func UnmarshalMcastReq(b []byte) (McastReq, error) {
+	r := codec.NewReader(b)
+	m := McastReq{Group: r.String(), Service: Service(r.U8())}
+	m.Payload = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return McastReq{}, fmt.Errorf("group: decoding mcast: %w", err)
+	}
+	return m, nil
+}
+
+// VCEntry is one component of an encoded vector clock. Entries are always
+// encoded sorted by member, keeping the encoding canonical.
+type VCEntry struct {
+	Member string
+	Count  uint64
+}
+
+// DataMsg carries one multicast between GC processes.
+type DataMsg struct {
+	Group     string
+	Origin    string
+	Service   Service
+	SenderSeq uint64 // per-(group, origin) sequence; 0 for Unreliable
+	TS        uint64 // Lamport timestamp (TotalSym)
+	VC        []VCEntry
+	Payload   []byte
+}
+
+func (d DataMsg) encode(w *codec.Writer) {
+	w.String(d.Group)
+	w.String(d.Origin)
+	w.U8(uint8(d.Service))
+	w.U64(d.SenderSeq)
+	w.U64(d.TS)
+	w.U32(uint32(len(d.VC)))
+	for _, e := range d.VC {
+		w.String(e.Member)
+		w.U64(e.Count)
+	}
+	w.Bytes32(d.Payload)
+}
+
+func decodeDataMsg(r *codec.Reader) DataMsg {
+	d := DataMsg{
+		Group:     r.String(),
+		Origin:    r.String(),
+		Service:   Service(r.U8()),
+		SenderSeq: r.U64(),
+		TS:        r.U64(),
+	}
+	n := int(r.U32())
+	if r.Err() != nil || n > 1<<20 {
+		return d
+	}
+	for i := 0; i < n; i++ {
+		d.VC = append(d.VC, VCEntry{Member: r.String(), Count: r.U64()})
+	}
+	d.Payload = r.Bytes32()
+	return d
+}
+
+// Marshal returns the canonical encoding.
+func (d DataMsg) Marshal() []byte {
+	w := codec.NewWriter(len(d.Payload) + 64)
+	d.encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalDataMsg decodes a DataMsg.
+func UnmarshalDataMsg(b []byte) (DataMsg, error) {
+	r := codec.NewReader(b)
+	d := decodeDataMsg(r)
+	if err := r.Finish(); err != nil {
+		return DataMsg{}, fmt.Errorf("group: decoding data: %w", err)
+	}
+	return d, nil
+}
+
+// AckMsg is a symmetric-order logical acknowledgement: the acker promises
+// that its future messages carry timestamps greater than TS, valid once
+// the receiver holds all of the acker's data up to SendSeqHW.
+type AckMsg struct {
+	Group     string
+	TS        uint64
+	SendSeqHW uint64
+}
+
+// Marshal returns the canonical encoding.
+func (a AckMsg) Marshal() []byte {
+	w := codec.NewWriter(32)
+	w.String(a.Group)
+	w.U64(a.TS)
+	w.U64(a.SendSeqHW)
+	return w.Bytes()
+}
+
+// UnmarshalAckMsg decodes an AckMsg.
+func UnmarshalAckMsg(b []byte) (AckMsg, error) {
+	r := codec.NewReader(b)
+	a := AckMsg{Group: r.String(), TS: r.U64(), SendSeqHW: r.U64()}
+	if err := r.Finish(); err != nil {
+		return AckMsg{}, fmt.Errorf("group: decoding ack: %w", err)
+	}
+	return a, nil
+}
+
+// SeqAssign maps one message to its global delivery position.
+type SeqAssign struct {
+	Origin    string
+	SenderSeq uint64
+	Global    uint64
+}
+
+// SeqMsg carries sequencer assignments (asymmetric total order). Epoch
+// identifies the sequencer incarnation: assignments from superseded epochs
+// are discarded after a view change.
+type SeqMsg struct {
+	Group       string
+	Epoch       uint64
+	Assignments []SeqAssign
+}
+
+// Marshal returns the canonical encoding.
+func (s SeqMsg) Marshal() []byte {
+	w := codec.NewWriter(32 + 32*len(s.Assignments))
+	w.String(s.Group)
+	w.U64(s.Epoch)
+	w.U32(uint32(len(s.Assignments)))
+	for _, a := range s.Assignments {
+		w.String(a.Origin)
+		w.U64(a.SenderSeq)
+		w.U64(a.Global)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalSeqMsg decodes a SeqMsg.
+func UnmarshalSeqMsg(b []byte) (SeqMsg, error) {
+	r := codec.NewReader(b)
+	s := SeqMsg{Group: r.String(), Epoch: r.U64()}
+	n := int(r.U32())
+	if r.Err() == nil && n <= 1<<20 {
+		for i := 0; i < n; i++ {
+			s.Assignments = append(s.Assignments, SeqAssign{
+				Origin:    r.String(),
+				SenderSeq: r.U64(),
+				Global:    r.U64(),
+			})
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return SeqMsg{}, fmt.Errorf("group: decoding seq: %w", err)
+	}
+	return s, nil
+}
+
+// NackMsg asks a message's origin to retransmit specific sender sequences.
+type NackMsg struct {
+	Group   string
+	Missing []uint64
+}
+
+// Marshal returns the canonical encoding.
+func (n NackMsg) Marshal() []byte {
+	w := codec.NewWriter(24 + 8*len(n.Missing))
+	w.String(n.Group)
+	w.U64Slice(n.Missing)
+	return w.Bytes()
+}
+
+// UnmarshalNackMsg decodes a NackMsg.
+func UnmarshalNackMsg(b []byte) (NackMsg, error) {
+	r := codec.NewReader(b)
+	n := NackMsg{Group: r.String(), Missing: r.U64Slice()}
+	if err := r.Finish(); err != nil {
+		return NackMsg{}, fmt.Errorf("group: decoding nack: %w", err)
+	}
+	return n, nil
+}
+
+// ViewProp proposes view (ViewID, Members) for a group; Epoch disambiguates
+// successive proposals for the same ViewID as suspicions accumulate.
+type ViewProp struct {
+	Group   string
+	ViewID  uint64
+	Epoch   uint64
+	Members []string
+}
+
+// Marshal returns the canonical encoding.
+func (v ViewProp) Marshal() []byte {
+	w := codec.NewWriter(64)
+	w.String(v.Group)
+	w.U64(v.ViewID)
+	w.U64(v.Epoch)
+	w.StringSlice(v.Members)
+	return w.Bytes()
+}
+
+// UnmarshalViewProp decodes a ViewProp.
+func UnmarshalViewProp(b []byte) (ViewProp, error) {
+	r := codec.NewReader(b)
+	v := ViewProp{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Members: r.StringSlice()}
+	if err := r.Finish(); err != nil {
+		return ViewProp{}, fmt.Errorf("group: decoding view proposal: %w", err)
+	}
+	return v, nil
+}
+
+// ViewAck accepts a proposal and reports the acker's pending (received but
+// undelivered) totally-ordered messages for the flush.
+type ViewAck struct {
+	Group   string
+	ViewID  uint64
+	Epoch   uint64
+	Pending []DataMsg
+}
+
+// Marshal returns the canonical encoding.
+func (v ViewAck) Marshal() []byte {
+	w := codec.NewWriter(64)
+	w.String(v.Group)
+	w.U64(v.ViewID)
+	w.U64(v.Epoch)
+	w.U32(uint32(len(v.Pending)))
+	for _, d := range v.Pending {
+		d.encode(w)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalViewAck decodes a ViewAck.
+func UnmarshalViewAck(b []byte) (ViewAck, error) {
+	r := codec.NewReader(b)
+	v := ViewAck{Group: r.String(), ViewID: r.U64(), Epoch: r.U64()}
+	n := int(r.U32())
+	if r.Err() == nil && n <= 1<<20 {
+		for i := 0; i < n; i++ {
+			v.Pending = append(v.Pending, decodeDataMsg(r))
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return ViewAck{}, fmt.Errorf("group: decoding view ack: %w", err)
+	}
+	return v, nil
+}
+
+// ViewInstall commits a view together with the flush set every survivor
+// must deliver before installing.
+type ViewInstall struct {
+	Group   string
+	ViewID  uint64
+	Epoch   uint64
+	Members []string
+	Flush   []DataMsg
+}
+
+// Marshal returns the canonical encoding.
+func (v ViewInstall) Marshal() []byte {
+	w := codec.NewWriter(128)
+	w.String(v.Group)
+	w.U64(v.ViewID)
+	w.U64(v.Epoch)
+	w.StringSlice(v.Members)
+	w.U32(uint32(len(v.Flush)))
+	for _, d := range v.Flush {
+		d.encode(w)
+	}
+	return w.Bytes()
+}
+
+// UnmarshalViewInstall decodes a ViewInstall.
+func UnmarshalViewInstall(b []byte) (ViewInstall, error) {
+	r := codec.NewReader(b)
+	v := ViewInstall{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Members: r.StringSlice()}
+	n := int(r.U32())
+	if r.Err() == nil && n <= 1<<20 {
+		for i := 0; i < n; i++ {
+			v.Flush = append(v.Flush, decodeDataMsg(r))
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return ViewInstall{}, fmt.Errorf("group: decoding view install: %w", err)
+	}
+	return v, nil
+}
+
+// Deliver is the local-delivery payload handed to the application.
+type Deliver struct {
+	Group   string
+	Origin  string
+	Service Service
+	Payload []byte
+}
+
+// Marshal returns the canonical encoding.
+func (d Deliver) Marshal() []byte {
+	w := codec.NewWriter(len(d.Payload) + 32)
+	w.String(d.Group)
+	w.String(d.Origin)
+	w.U8(uint8(d.Service))
+	w.Bytes32(d.Payload)
+	return w.Bytes()
+}
+
+// UnmarshalDeliver decodes a Deliver.
+func UnmarshalDeliver(b []byte) (Deliver, error) {
+	r := codec.NewReader(b)
+	d := Deliver{Group: r.String(), Origin: r.String(), Service: Service(r.U8())}
+	d.Payload = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return Deliver{}, fmt.Errorf("group: decoding deliver: %w", err)
+	}
+	return d, nil
+}
+
+// ViewNote is the local payload announcing an installed view.
+type ViewNote struct {
+	Group   string
+	ViewID  uint64
+	Members []string
+}
+
+// Marshal returns the canonical encoding.
+func (v ViewNote) Marshal() []byte {
+	w := codec.NewWriter(64)
+	w.String(v.Group)
+	w.U64(v.ViewID)
+	w.StringSlice(v.Members)
+	return w.Bytes()
+}
+
+// UnmarshalViewNote decodes a ViewNote.
+func UnmarshalViewNote(b []byte) (ViewNote, error) {
+	r := codec.NewReader(b)
+	v := ViewNote{Group: r.String(), ViewID: r.U64(), Members: r.StringSlice()}
+	if err := r.Finish(); err != nil {
+		return ViewNote{}, fmt.Errorf("group: decoding view note: %w", err)
+	}
+	return v, nil
+}

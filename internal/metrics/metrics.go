@@ -1,0 +1,149 @@
+// Package metrics provides the measurement primitives for the benchmark
+// harness: latency histograms and throughput windows, matching what the
+// paper reports (ordering latency in Figure 6, messages/second in
+// Figures 7 and 8).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates duration samples. It is safe for concurrent use.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Summary is an immutable snapshot of a histogram.
+type Summary struct {
+	Count            int
+	Min, Max, Mean   time.Duration
+	P50, P95, P99    time.Duration
+	StdDev           time.Duration
+	TotalObservation time.Duration
+}
+
+// Snapshot computes a summary of all samples recorded so far.
+func (h *Histogram) Snapshot() Summary {
+	h.mu.Lock()
+	samples := append([]time.Duration(nil), h.samples...)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum, sumSq float64
+	for _, s := range samples {
+		f := float64(s)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(samples))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	return Summary{
+		Count:            len(samples),
+		Min:              samples[0],
+		Max:              samples[len(samples)-1],
+		Mean:             time.Duration(mean),
+		P50:              pct(0.50),
+		P95:              pct(0.95),
+		P99:              pct(0.99),
+		StdDev:           time.Duration(math.Sqrt(variance)),
+		TotalObservation: time.Duration(sum),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Throughput measures completed operations over a wall-clock window.
+type Throughput struct {
+	mu    sync.Mutex
+	count uint64
+	start time.Time
+	end   time.Time
+}
+
+// Start marks the beginning of the window.
+func (t *Throughput) Start(now time.Time) {
+	t.mu.Lock()
+	t.start = now
+	t.end = time.Time{}
+	t.count = 0
+	t.mu.Unlock()
+}
+
+// Add counts n completed operations.
+func (t *Throughput) Add(n uint64) {
+	t.mu.Lock()
+	t.count += n
+	t.mu.Unlock()
+}
+
+// Stop marks the end of the window.
+func (t *Throughput) Stop(now time.Time) {
+	t.mu.Lock()
+	t.end = now
+	t.mu.Unlock()
+}
+
+// Count returns operations recorded so far.
+func (t *Throughput) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// PerSecond returns the rate over the window (operations per second).
+// If Stop has not been called, now is used as the window end.
+func (t *Throughput) PerSecond(now time.Time) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = now
+	}
+	window := end.Sub(t.start)
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.count) / window.Seconds()
+}

@@ -1,0 +1,384 @@
+// Package netsim is the communication substrate for every protocol in this
+// repository. It provides an in-process message-passing network whose links
+// model the two network classes the paper assumes:
+//
+//   - the synchronous LAN connecting the two nodes of a fail-signal pair
+//     (assumption A2: reliable, delivers within a known bound δ), and
+//   - the reliable asynchronous network connecting FS processes to each
+//     other (no bound on message delays).
+//
+// Links are FIFO and, by default, lossless. Each link carries a Profile:
+// a latency model, a bandwidth (which converts message size into
+// serialization delay — this is what gives Figure 8 its message-size
+// dependence), and an optional loss rate plus partition switch used only by
+// tests exercising the reliability and membership layers.
+//
+// The substitution this package embodies is documented in DESIGN.md: the
+// paper ran on 16 Pentium III PCs on a 100 Mb LAN; we run the identical
+// protocol code paths in one process and recover the figures' *shapes*
+// rather than their absolute values.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/clock"
+)
+
+// Addr identifies a network endpoint (one node-resident process).
+type Addr string
+
+// Message is the unit of delivery.
+type Message struct {
+	From    Addr
+	To      Addr
+	Kind    string // protocol-defined tag, e.g. "fs.receiveNew"
+	Payload []byte
+}
+
+// Handler receives delivered messages. Handlers run on the delivering
+// link's goroutine: they must be quick and must not block on the network
+// (sending more messages is fine — sends never block).
+type Handler func(Message)
+
+// LatencyModel produces per-message propagation delays.
+type LatencyModel interface {
+	// Delay returns the next propagation delay. r is a private, seeded
+	// source; models must use it (and nothing else) for randomness so that
+	// runs are reproducible.
+	Delay(r *rand.Rand) time.Duration
+}
+
+// Fixed is a constant-delay latency model.
+type Fixed time.Duration
+
+// Delay implements LatencyModel.
+func (f Fixed) Delay(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Uniform draws delays uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u Uniform) Delay(r *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Normal draws delays from a normal distribution truncated at zero.
+type Normal struct {
+	Mean, StdDev time.Duration
+}
+
+// Delay implements LatencyModel.
+func (n Normal) Delay(r *rand.Rand) time.Duration {
+	d := time.Duration(r.NormFloat64()*float64(n.StdDev)) + n.Mean
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Profile describes one direction of a link.
+type Profile struct {
+	// Latency is the propagation-delay model. nil means zero latency.
+	Latency LatencyModel
+	// BytesPerSecond is the serialization bandwidth. Zero means infinite.
+	BytesPerSecond int64
+	// Loss is the probability in [0,1] that a message is silently dropped.
+	Loss float64
+}
+
+// delayFor computes the total delivery delay for a message of n bytes.
+func (p Profile) delayFor(n int, r *rand.Rand) time.Duration {
+	var d time.Duration
+	if p.Latency != nil {
+		d = p.Latency.Delay(r)
+	}
+	if p.BytesPerSecond > 0 {
+		d += time.Duration(float64(n) / float64(p.BytesPerSecond) * float64(time.Second))
+	}
+	return d
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Sent      uint64 // messages handed to Send
+	Delivered uint64 // messages delivered to handlers
+	Dropped   uint64 // lost to the Loss model
+	Blocked   uint64 // suppressed by a partition
+	Bytes     uint64 // payload bytes sent
+}
+
+// ErrUnknownAddr is returned when sending to or from an unregistered address.
+var ErrUnknownAddr = errors.New("netsim: unknown address")
+
+// ErrClosed is returned when sending on a closed network.
+var ErrClosed = errors.New("netsim: network closed")
+
+type linkKey struct{ from, to Addr }
+
+// Network is an in-process network. It is safe for concurrent use.
+type Network struct {
+	clk clock.Clock
+
+	mu       sync.Mutex
+	handlers map[Addr]Handler
+	profiles map[linkKey]Profile
+	def      Profile
+	blocked  map[linkKey]bool
+	links    map[linkKey]*link
+	rng      *rand.Rand
+	stats    Stats
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDefaultProfile sets the profile used by links with no override.
+func WithDefaultProfile(p Profile) Option {
+	return func(n *Network) { n.def = p }
+}
+
+// WithSeed seeds the network's private randomness (latency jitter, loss).
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates a network driven by clk.
+func New(clk clock.Clock, opts ...Option) *Network {
+	n := &Network{
+		clk:      clk,
+		handlers: make(map[Addr]Handler),
+		profiles: make(map[linkKey]Profile),
+		blocked:  make(map[linkKey]bool),
+		links:    make(map[linkKey]*link),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler at addr. Registering an address twice
+// replaces its handler (useful for tests that interpose wiretaps).
+func (n *Network) Register(addr Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[addr] = h
+}
+
+// Deregister removes an address. In-flight messages to it are dropped at
+// delivery time.
+func (n *Network) Deregister(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, addr)
+}
+
+// SetLinkProfile overrides the profile for both directions between a and b.
+func (n *Network) SetLinkProfile(a, b Addr, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profiles[linkKey{a, b}] = p
+	n.profiles[linkKey{b, a}] = p
+}
+
+// SetOneWayProfile overrides the profile for the a→b direction only.
+func (n *Network) SetOneWayProfile(a, b Addr, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profiles[linkKey{a, b}] = p
+}
+
+// Block partitions a from b in both directions.
+func (n *Network) Block(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{a, b}] = true
+	n.blocked[linkKey{b, a}] = true
+}
+
+// Unblock heals the partition between a and b.
+func (n *Network) Unblock(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, linkKey{a, b})
+	delete(n.blocked, linkKey{b, a})
+}
+
+// Partition splits the given addresses into groups: traffic between
+// different groups is blocked, traffic within a group is unaffected.
+func (n *Network) Partition(groups ...[]Addr) {
+	for i, g1 := range groups {
+		for _, g2 := range groups[i+1:] {
+			for _, a := range g1 {
+				for _, b := range g2 {
+					n.Block(a, b)
+				}
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Send schedules delivery of a message. It never blocks on delivery; the
+// link's FIFO worker delivers after the profile's delay. Sending to an
+// unknown destination is an error, so that mis-wired deployments fail loudly
+// rather than silently losing protocol traffic.
+func (n *Network) Send(from, to Addr, kind string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := n.handlers[to]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	key := linkKey{from, to}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(payload))
+	if n.blocked[key] {
+		n.stats.Blocked++
+		n.mu.Unlock()
+		return nil
+	}
+	prof, ok := n.profiles[key]
+	if !ok {
+		prof = n.def
+	}
+	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := prof.delayFor(len(payload), n.rng)
+	lk := n.links[key]
+	if lk == nil {
+		lk = newLink(n)
+		n.links[key] = lk
+		n.wg.Add(1)
+		go lk.run()
+	}
+	n.mu.Unlock()
+
+	lk.enqueue(delivery{
+		msg:       Message{From: from, To: to, Kind: kind, Payload: payload},
+		deliverAt: n.clk.Now().Add(delay),
+	})
+	return nil
+}
+
+// Close stops all link workers. Pending deliveries are abandoned.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for _, lk := range n.links {
+		lk.close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// deliver hands msg to its destination handler, if still registered.
+func (n *Network) deliver(msg Message) {
+	n.mu.Lock()
+	h := n.handlers[msg.To]
+	if h != nil {
+		n.stats.Delivered++
+	}
+	n.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+type delivery struct {
+	msg       Message
+	deliverAt time.Time
+}
+
+// link is a FIFO delivery worker for one (from, to) direction. FIFO
+// matters: the fail-signal Order protocol relies on the leader→follower
+// link not reordering (Section 2.2), and the asynchronous network is
+// modelled as per-pair FIFO like a TCP connection.
+type link struct {
+	net *Network
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	closed bool
+	done   chan struct{}
+}
+
+func newLink(n *Network) *link {
+	lk := &link{net: n, done: make(chan struct{})}
+	lk.cond = sync.NewCond(&lk.mu)
+	return lk
+}
+
+func (lk *link) enqueue(d delivery) {
+	lk.mu.Lock()
+	lk.queue = append(lk.queue, d)
+	lk.mu.Unlock()
+	lk.cond.Signal()
+}
+
+func (lk *link) close() {
+	lk.mu.Lock()
+	if !lk.closed {
+		lk.closed = true
+		close(lk.done)
+	}
+	lk.mu.Unlock()
+	lk.cond.Signal()
+}
+
+func (lk *link) run() {
+	defer lk.net.wg.Done()
+	for {
+		lk.mu.Lock()
+		for len(lk.queue) == 0 && !lk.closed {
+			lk.cond.Wait()
+		}
+		if lk.closed {
+			lk.mu.Unlock()
+			return
+		}
+		d := lk.queue[0]
+		lk.queue = lk.queue[1:]
+		lk.mu.Unlock()
+
+		if wait := d.deliverAt.Sub(lk.net.clk.Now()); wait > 0 {
+			select {
+			case <-lk.net.clk.After(wait):
+			case <-lk.done:
+				return
+			}
+		}
+		lk.net.deliver(d.msg)
+	}
+}

@@ -1,0 +1,234 @@
+// Package newtop implements the NewTOP Service Object (NSO) of Section 3:
+// the crash-tolerant, partitionable group-communication middleware that is
+// both the substrate FS-NewTOP extends and the baseline the paper measures
+// against.
+//
+// An NSO bundles two subsystems, exactly as in the paper:
+//
+//   - the Invocation service — the application-facing layer that marshals
+//     multicast requests into the ORB's generic container and unmarshals
+//     deliveries back out; and
+//   - the Group Communication (GC) service — the deterministic protocol
+//     machine of package group, driven here as a plain single process with
+//     real timers and a ping-based failure suspector.
+//
+// NSO-to-NSO traffic travels as ORB one-way invocations on each member's
+// "<name>/gc" object, so inbound protocol messages flow through the ORB's
+// server request pool (default 10 workers) — the concurrency structure
+// whose saturation produces the Figure 7 throughput knee.
+package newtop
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/orb"
+	"fsnewtop/internal/sm"
+)
+
+// Delivery is one message handed to the application.
+type Delivery struct {
+	Group   string
+	Origin  string // logical name of the sending member
+	Service group.Service
+	Payload []byte
+}
+
+// View is one installed membership view.
+type View struct {
+	Group   string
+	ViewID  uint64
+	Members []string
+}
+
+// Service is the application-facing API shared by crash-tolerant NewTOP
+// and Byzantine-tolerant FS-NewTOP, so applications (and the benchmark
+// harness) are agnostic to which middleware they run on.
+type Service interface {
+	// Name returns this member's logical name.
+	Name() string
+	// Join creates/joins a group with a static initial membership.
+	Join(groupName string, members []string) error
+	// Multicast sends payload to the group with the given service level.
+	Multicast(groupName string, svc group.Service, payload []byte) error
+	// Deliveries streams delivered messages. The consumer must drain it;
+	// an undrained channel applies backpressure to the protocol machine.
+	Deliveries() <-chan Delivery
+	// Views streams installed views.
+	Views() <-chan View
+	// Close shuts the member down.
+	Close()
+}
+
+// deliveryBuffer sizes the delivery and view channels.
+const deliveryBuffer = 8192
+
+// Config configures one crash-tolerant NSO.
+type Config struct {
+	// Name is the member's logical name; peers address its GC object as
+	// "<name>/gc".
+	Name string
+	// Net and Naming are the shared deployment fabric.
+	Net    *netsim.Network
+	Naming *orb.Naming
+	// Clock drives timers.
+	Clock clock.Clock
+	// PoolSize is the ORB request pool size (0 = the paper's default 10).
+	PoolSize int
+	// ServiceTime simulates per-request ORB processing cost (see
+	// orb.Config.ServiceTime).
+	ServiceTime time.Duration
+	// TickInterval paces GC machine ticks. 0 = 20ms.
+	TickInterval time.Duration
+	// GC tunes the protocol machine (suspector intervals etc.). Self and
+	// Mode are set by the NSO.
+	GC group.Config
+}
+
+// NSO is a crash-tolerant NewTOP member.
+type NSO struct {
+	name       string
+	orb        *orb.ORB
+	driver     *group.Driver
+	deliveries chan Delivery
+	views      chan View
+}
+
+var _ Service = (*NSO)(nil)
+
+// NodeAddr returns the network address of a member's node.
+func NodeAddr(name string) netsim.Addr { return netsim.Addr("node:" + name) }
+
+// GCRef returns the ORB object reference of a member's GC service.
+func GCRef(name string) orb.ObjectRef { return orb.ObjectRef(name + "/gc") }
+
+// InvRef returns the ORB object reference of a member's invocation layer.
+func InvRef(name string) orb.ObjectRef { return orb.ObjectRef(name + "/inv") }
+
+// memberOfGCRef recovers the member name from a "<name>/gc" reference.
+func memberOfGCRef(ref orb.ObjectRef) string {
+	return strings.TrimSuffix(string(ref), "/gc")
+}
+
+// New builds and starts a crash-tolerant NSO.
+func New(cfg Config) (*NSO, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("newtop: member needs a name")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	gcCfg := cfg.GC
+	gcCfg.Self = cfg.Name
+	gcCfg.Mode = group.SuspectPing
+
+	o, err := orb.New(orb.Config{
+		Addr:        NodeAddr(cfg.Name),
+		Net:         cfg.Net,
+		Naming:      cfg.Naming,
+		PoolSize:    cfg.PoolSize,
+		ServiceTime: cfg.ServiceTime,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n := &NSO{
+		name:       cfg.Name,
+		orb:        o,
+		deliveries: make(chan Delivery, deliveryBuffer),
+		views:      make(chan View, deliveryBuffer),
+	}
+
+	machine := group.New(gcCfg)
+	driver, err := group.NewDriver(group.DriverConfig{
+		Machine:      machine,
+		Clock:        cfg.Clock,
+		TickInterval: cfg.TickInterval,
+		Send: func(to, kind string, payload []byte) {
+			// Peer GC services are plain ORB objects: location-transparent
+			// one-way invocations, method = protocol message kind.
+			_ = o.OneWay(GCRef(cfg.Name), GCRef(to), kind, orb.BytesAny(payload))
+		},
+		OnDeliver: func(d group.Deliver) {
+			n.deliveries <- Delivery{Group: d.Group, Origin: d.Origin, Service: d.Service, Payload: d.Payload}
+		},
+		OnView: func(v group.ViewNote) {
+			n.views <- View{Group: v.Group, ViewID: v.ViewID, Members: v.Members}
+		},
+	})
+	if err != nil {
+		o.Close()
+		return nil, err
+	}
+	n.driver = driver
+	o.Register(GCRef(cfg.Name), gcServant{driver: driver})
+	return n, nil
+}
+
+// gcServant exposes the GC machine as an ORB object: each one-way
+// invocation becomes one machine input, attributed to the calling member.
+type gcServant struct {
+	driver *group.Driver
+}
+
+// Invoke implements orb.Servant (never used: InvokeRequest takes priority).
+func (s gcServant) Invoke(method string, arg orb.Any) (orb.Any, error) {
+	s.driver.Submit(sm.Input{Kind: method, Payload: arg.Bytes()})
+	return orb.Any{}, nil
+}
+
+// InvokeRequest implements orb.RequestServant, preserving the caller
+// identity the protocol machine needs.
+func (s gcServant) InvokeRequest(req *orb.Request) orb.Reply {
+	s.driver.Submit(sm.Input{Kind: req.Method, From: callerMember(req.From), Payload: req.Arg.Bytes()})
+	return orb.Reply{}
+}
+
+// callerMember attributes a request to a member only when it comes from a
+// GC object reference; anything else (invocation layers, strangers) is
+// unattributed, so the protocol machine's origin checks reject spoofing.
+func callerMember(from orb.ObjectRef) string {
+	if strings.HasSuffix(string(from), "/gc") {
+		return memberOfGCRef(from)
+	}
+	return ""
+}
+
+// Name implements Service.
+func (n *NSO) Name() string { return n.name }
+
+// Join implements Service: the invocation layer submits the join through
+// the ORB to the (collocated) GC object.
+func (n *NSO) Join(groupName string, members []string) error {
+	payload := group.JoinReq{Group: groupName, Members: members}.Marshal()
+	return n.orb.OneWay(InvRef(n.name), GCRef(n.name), group.KindJoin, orb.BytesAny(payload))
+}
+
+// Multicast implements Service.
+func (n *NSO) Multicast(groupName string, svc group.Service, payload []byte) error {
+	req := group.McastReq{Group: groupName, Service: svc, Payload: payload}.Marshal()
+	return n.orb.OneWay(InvRef(n.name), GCRef(n.name), group.KindMcast, orb.BytesAny(req))
+}
+
+// Deliveries implements Service.
+func (n *NSO) Deliveries() <-chan Delivery { return n.deliveries }
+
+// Views implements Service.
+func (n *NSO) Views() <-chan View { return n.views }
+
+// ORB exposes the member's ORB (interceptor installation, diagnostics).
+func (n *NSO) ORB() *orb.ORB { return n.orb }
+
+// Close implements Service.
+func (n *NSO) Close() {
+	n.driver.Close()
+	n.orb.Close()
+}
+
+// DriverBacklog reports unprocessed GC machine inputs (diagnostics).
+func (n *NSO) DriverBacklog() int { return n.driver.Backlog() }

@@ -1,0 +1,424 @@
+// Package orb is the CORBA-like substrate of Section 3: location-
+// transparent object invocation, request interceptors, a generic value
+// container (the CORBA "any"), and a bounded server-side request pool.
+//
+// The paper relies on four ORB mechanisms, all reproduced here:
+//
+//   - location transparency — an NSO's client "need not reside on the same
+//     host" and, in FS-NewTOP, GC' lives on a different node from the
+//     invocation layer without either noticing;
+//   - interceptors — "a call to NewTOP GC ... is intercepted on the fly"
+//     (the Eternal-style technique of [NMM99, NMM00]) — modelled as
+//     middleware chains on both the client and server sides;
+//   - any marshaling — the invocation service marshals application
+//     messages into a generic container;
+//   - a configurable server thread pool "with a default of 10 threads to
+//     handle incoming requests", whose exhaustion produces the Figure 7
+//     throughput knee.
+package orb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/codec"
+	"fsnewtop/internal/netsim"
+)
+
+// Any is the generic value container (CORBA any): a self-contained gob
+// encoding of an arbitrary value.
+type Any struct {
+	data []byte
+}
+
+// MarshalAny encodes v into an Any.
+func MarshalAny(v any) (Any, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return Any{}, fmt.Errorf("orb: marshaling any: %w", err)
+	}
+	return Any{data: buf.Bytes()}, nil
+}
+
+// BytesAny wraps raw bytes without re-encoding (the common case for
+// middleware payloads that already have a wire form).
+func BytesAny(b []byte) Any { return Any{data: b} }
+
+// Unmarshal decodes the Any into v (a pointer).
+func (a Any) Unmarshal(v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(a.data)).Decode(v); err != nil {
+		return fmt.Errorf("orb: unmarshaling any: %w", err)
+	}
+	return nil
+}
+
+// Bytes returns the raw contents for BytesAny round trips.
+func (a Any) Bytes() []byte { return a.data }
+
+// Len returns the encoded size.
+func (a Any) Len() int { return len(a.data) }
+
+// ObjectRef names an object in the deployment, e.g. "nso-1/gc".
+type ObjectRef string
+
+// Request is one invocation as seen by interceptors and servants.
+type Request struct {
+	From   ObjectRef
+	Target ObjectRef
+	Method string
+	Arg    Any
+	OneWay bool
+}
+
+// Reply is an invocation result.
+type Reply struct {
+	Value Any
+	Err   string
+}
+
+// Servant is a server-side object.
+type Servant interface {
+	// Invoke handles one method call.
+	Invoke(method string, arg Any) (Any, error)
+}
+
+// ServantFunc adapts a function to Servant.
+type ServantFunc func(method string, arg Any) (Any, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(method string, arg Any) (Any, error) { return f(method, arg) }
+
+// RequestServant is an optional richer servant interface for objects that
+// need the full request (caller identity, one-way flag). When a servant
+// implements it, dispatch prefers it over Invoke.
+type RequestServant interface {
+	InvokeRequest(*Request) Reply
+}
+
+// Handler processes a request to a reply; interceptors wrap handlers.
+type Handler func(*Request) Reply
+
+// Interceptor is request middleware. Client interceptors run before a
+// request leaves the caller's ORB; server interceptors run before the
+// servant dispatch. Either may short-circuit by not calling next — this is
+// exactly the hook FS-NewTOP uses to wrap GC transparently (Section 3.1).
+type Interceptor func(next Handler) Handler
+
+// Naming is the deployment-wide object locator (the naming service). All
+// ORBs of one deployment share it. Safe for concurrent use; the zero value
+// is ready.
+type Naming struct {
+	mu    sync.RWMutex
+	where map[ObjectRef]netsim.Addr
+}
+
+// NewNaming returns an empty naming service.
+func NewNaming() *Naming { return &Naming{} }
+
+// Bind records that ref is served by the ORB at addr.
+func (n *Naming) Bind(ref ObjectRef, addr netsim.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.where == nil {
+		n.where = make(map[ObjectRef]netsim.Addr)
+	}
+	n.where[ref] = addr
+}
+
+// Resolve finds the ORB address serving ref.
+func (n *Naming) Resolve(ref ObjectRef) (netsim.Addr, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, ok := n.where[ref]
+	return a, ok
+}
+
+// Errors returned by invocation.
+var (
+	ErrNoSuchObject = errors.New("orb: object not found")
+	ErrTimeout      = errors.New("orb: invocation timed out")
+	ErrClosed       = errors.New("orb: ORB closed")
+)
+
+// DefaultPoolSize is the server request pool size used by the paper's
+// prototype ("a configurable thread pool with a default of 10 threads").
+const DefaultPoolSize = 10
+
+// Config configures an ORB.
+type Config struct {
+	// Addr is this ORB's network endpoint (one per node).
+	Addr netsim.Addr
+	// Net is the shared network.
+	Net *netsim.Network
+	// Naming is the shared naming service.
+	Naming *Naming
+	// PoolSize bounds concurrent server-side request processing.
+	// Zero selects DefaultPoolSize.
+	PoolSize int
+	// ServiceTime simulates per-request processing cost inside a pool
+	// worker (the 2003 ORB's unmarshal/demultiplex work). Zero disables.
+	// With it set, a node's request capacity is PoolSize/ServiceTime —
+	// the mechanism behind the paper's Figure 7 thread-pool knee.
+	ServiceTime time.Duration
+	// InvokeTimeout bounds synchronous invocations. Zero means 5s.
+	InvokeTimeout time.Duration
+}
+
+// ORB is one node's object request broker.
+type ORB struct {
+	cfg    Config
+	pool   *Pool
+	client []Interceptor
+	server []Interceptor
+
+	mu       sync.Mutex
+	servants map[ObjectRef]Servant
+	pending  map[uint64]chan Reply
+	nextCall uint64
+	closed   bool
+}
+
+// New creates and attaches an ORB at cfg.Addr.
+func New(cfg Config) (*ORB, error) {
+	if cfg.Addr == "" || cfg.Net == nil || cfg.Naming == nil {
+		return nil, fmt.Errorf("orb: Addr, Net and Naming are required")
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.InvokeTimeout == 0 {
+		cfg.InvokeTimeout = 5 * time.Second
+	}
+	o := &ORB{
+		cfg:      cfg,
+		pool:     NewPool(cfg.PoolSize),
+		servants: make(map[ObjectRef]Servant),
+		pending:  make(map[uint64]chan Reply),
+	}
+	cfg.Net.Register(cfg.Addr, o.onMessage)
+	return o, nil
+}
+
+// Close detaches the ORB and stops its pool.
+func (o *ORB) Close() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	for id, ch := range o.pending {
+		ch <- Reply{Err: ErrClosed.Error()}
+		delete(o.pending, id)
+	}
+	o.mu.Unlock()
+	o.cfg.Net.Deregister(o.cfg.Addr)
+	o.pool.Close()
+}
+
+// Register exposes a servant under ref and binds it in naming.
+func (o *ORB) Register(ref ObjectRef, s Servant) {
+	o.mu.Lock()
+	o.servants[ref] = s
+	o.mu.Unlock()
+	o.cfg.Naming.Bind(ref, o.cfg.Addr)
+}
+
+// AddClientInterceptor appends client-side middleware (outermost first).
+func (o *ORB) AddClientInterceptor(i Interceptor) { o.client = append(o.client, i) }
+
+// AddServerInterceptor appends server-side middleware (outermost first).
+func (o *ORB) AddServerInterceptor(i Interceptor) { o.server = append(o.server, i) }
+
+// chain composes interceptors around a base handler.
+func chain(is []Interceptor, base Handler) Handler {
+	h := base
+	for i := len(is) - 1; i >= 0; i-- {
+		h = is[i](h)
+	}
+	return h
+}
+
+// Invoke performs a synchronous invocation of target.method(arg). Location
+// is transparent: collocated objects dispatch directly (still through the
+// interceptor chains); remote objects go over the network and wait for the
+// reply.
+func (o *ORB) Invoke(from, target ObjectRef, method string, arg Any) (Any, error) {
+	req := &Request{From: from, Target: target, Method: method, Arg: arg}
+	rep := chain(o.client, o.transmit)(req)
+	if rep.Err != "" {
+		return Any{}, errors.New(rep.Err)
+	}
+	return rep.Value, nil
+}
+
+// OneWay performs a fire-and-forget invocation (no reply, no result).
+func (o *ORB) OneWay(from, target ObjectRef, method string, arg Any) error {
+	req := &Request{From: from, Target: target, Method: method, Arg: arg, OneWay: true}
+	rep := chain(o.client, o.transmit)(req)
+	if rep.Err != "" {
+		return errors.New(rep.Err)
+	}
+	return nil
+}
+
+// transmit is the innermost client handler: route to a collocated servant
+// or marshal onto the wire.
+func (o *ORB) transmit(req *Request) Reply {
+	o.mu.Lock()
+	s, local := o.servants[req.Target]
+	closed := o.closed
+	o.mu.Unlock()
+	if closed {
+		return Reply{Err: ErrClosed.Error()}
+	}
+	if local {
+		return chain(o.server, o.dispatch(s))(req)
+	}
+	addr, ok := o.cfg.Naming.Resolve(req.Target)
+	if !ok {
+		return Reply{Err: fmt.Sprintf("%v: %q", ErrNoSuchObject, req.Target)}
+	}
+	if req.OneWay {
+		if err := o.cfg.Net.Send(o.cfg.Addr, addr, msgRequest, encodeRequest(0, req)); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return Reply{}
+	}
+	ch := make(chan Reply, 1)
+	o.mu.Lock()
+	o.nextCall++
+	id := o.nextCall
+	o.pending[id] = ch
+	o.mu.Unlock()
+	if err := o.cfg.Net.Send(o.cfg.Addr, addr, msgRequest, encodeRequest(id, req)); err != nil {
+		o.mu.Lock()
+		delete(o.pending, id)
+		o.mu.Unlock()
+		return Reply{Err: err.Error()}
+	}
+	select {
+	case rep := <-ch:
+		return rep
+	case <-time.After(o.cfg.InvokeTimeout):
+		o.mu.Lock()
+		delete(o.pending, id)
+		o.mu.Unlock()
+		return Reply{Err: fmt.Sprintf("%v: %s.%s", ErrTimeout, req.Target, req.Method)}
+	}
+}
+
+// dispatch builds the innermost server handler around a servant.
+func (o *ORB) dispatch(s Servant) Handler {
+	return func(req *Request) Reply {
+		if rs, ok := s.(RequestServant); ok {
+			return rs.InvokeRequest(req)
+		}
+		v, err := s.Invoke(req.Method, req.Arg)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return Reply{Value: v}
+	}
+}
+
+// Network message kinds.
+const (
+	msgRequest = "orb.req"
+	msgReply   = "orb.rep"
+)
+
+// onMessage handles inbound ORB traffic. Requests are queued to the worker
+// pool — the paper's "thread pool ... to handle incoming requests" — so at
+// most PoolSize requests are processed concurrently per node.
+func (o *ORB) onMessage(msg netsim.Message) {
+	switch msg.Kind {
+	case msgRequest:
+		id, req, err := decodeRequest(msg.Payload)
+		if err != nil {
+			return
+		}
+		o.pool.Submit(func() {
+			if o.cfg.ServiceTime > 0 {
+				time.Sleep(o.cfg.ServiceTime)
+			}
+			o.mu.Lock()
+			s, ok := o.servants[req.Target]
+			o.mu.Unlock()
+			var rep Reply
+			if !ok {
+				rep = Reply{Err: fmt.Sprintf("%v: %q", ErrNoSuchObject, req.Target)}
+			} else {
+				rep = chain(o.server, o.dispatch(s))(req)
+			}
+			if !req.OneWay {
+				_ = o.cfg.Net.Send(o.cfg.Addr, msg.From, msgReply, encodeReply(id, rep))
+			}
+		})
+	case msgReply:
+		id, rep, err := decodeReply(msg.Payload)
+		if err != nil {
+			return
+		}
+		o.mu.Lock()
+		ch := o.pending[id]
+		delete(o.pending, id)
+		o.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+// PoolDepth reports the number of requests queued behind the pool.
+func (o *ORB) PoolDepth() int { return o.pool.Backlog() }
+
+func encodeRequest(id uint64, req *Request) []byte {
+	w := codec.NewWriter(len(req.Arg.data) + 64)
+	w.U64(id)
+	w.String(string(req.From))
+	w.String(string(req.Target))
+	w.String(req.Method)
+	w.Bool(req.OneWay)
+	w.Bytes32(req.Arg.data)
+	return w.Bytes()
+}
+
+func decodeRequest(b []byte) (uint64, *Request, error) {
+	r := codec.NewReader(b)
+	id := r.U64()
+	req := &Request{
+		From:   ObjectRef(r.String()),
+		Target: ObjectRef(r.String()),
+		Method: r.String(),
+		OneWay: r.Bool(),
+	}
+	req.Arg = Any{data: r.Bytes32()}
+	if err := r.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("orb: decoding request: %w", err)
+	}
+	return id, req, nil
+}
+
+func encodeReply(id uint64, rep Reply) []byte {
+	w := codec.NewWriter(len(rep.Value.data) + 32)
+	w.U64(id)
+	w.String(rep.Err)
+	w.Bytes32(rep.Value.data)
+	return w.Bytes()
+}
+
+func decodeReply(b []byte) (uint64, Reply, error) {
+	r := codec.NewReader(b)
+	id := r.U64()
+	rep := Reply{Err: r.String()}
+	rep.Value = Any{data: r.Bytes32()}
+	if err := r.Finish(); err != nil {
+		return 0, Reply{}, fmt.Errorf("orb: decoding reply: %w", err)
+	}
+	return id, rep, nil
+}

@@ -1,0 +1,347 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/netsim"
+)
+
+func testNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(50 * time.Microsecond)}))
+	t.Cleanup(n.Close)
+	return n
+}
+
+func newORB(t *testing.T, net *netsim.Network, naming *Naming, addr netsim.Addr, pool int) *ORB {
+	t.Helper()
+	o, err := New(Config{Addr: addr, Net: net, Naming: naming, PoolSize: pool, InvokeTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Close)
+	return o
+}
+
+// echoServant returns its argument, optionally after a delay.
+type echoServant struct {
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (e *echoServant) Invoke(method string, arg Any) (Any, error) {
+	e.calls.Add(1)
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	if method == "fail" {
+		return Any{}, errors.New("servant says no")
+	}
+	return arg, nil
+}
+
+func TestAnyRoundTrip(t *testing.T) {
+	type record struct {
+		Name string
+		N    int
+	}
+	a, err := MarshalAny(record{Name: "x", N: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out record
+	if err := a.Unmarshal(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "x" || out.N != 42 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if a.Len() == 0 {
+		t.Fatal("Len = 0")
+	}
+	raw := BytesAny([]byte{1, 2, 3})
+	if string(raw.Bytes()) != "\x01\x02\x03" {
+		t.Fatal("BytesAny mangled contents")
+	}
+}
+
+func TestLocalInvocation(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o := newORB(t, net, naming, "node1", 4)
+	o.Register("obj", &echoServant{})
+	got, err := o.Invoke("caller", "obj", "echo", BytesAny([]byte("hi")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != "hi" {
+		t.Fatalf("got %q", got.Bytes())
+	}
+}
+
+func TestRemoteInvocationLocationTransparent(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1 := newORB(t, net, naming, "node1", 4)
+	o2 := newORB(t, net, naming, "node2", 4)
+	o2.Register("remote-obj", &echoServant{})
+
+	// o1 invokes by reference only; the location comes from naming.
+	got, err := o1.Invoke("caller", "remote-obj", "echo", BytesAny([]byte("over the wire")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != "over the wire" {
+		t.Fatalf("got %q", got.Bytes())
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1 := newORB(t, net, naming, "node1", 4)
+	o2 := newORB(t, net, naming, "node2", 4)
+	o2.Register("obj", &echoServant{})
+	if _, err := o1.Invoke("caller", "obj", "fail", Any{}); err == nil || !strings.Contains(err.Error(), "servant says no") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeUnknownObject(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o := newORB(t, net, naming, "node1", 4)
+	if _, err := o.Invoke("caller", "ghost", "m", Any{}); err == nil {
+		t.Fatal("invocation of unknown object succeeded")
+	}
+}
+
+func TestOneWayInvocation(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1 := newORB(t, net, naming, "node1", 4)
+	o2 := newORB(t, net, naming, "node2", 4)
+	srv := &echoServant{}
+	o2.Register("obj", srv)
+	if err := o1.OneWay("caller", "obj", "echo", BytesAny([]byte("async"))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("one-way call never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInvokeTimeout(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1, err := New(Config{Addr: "node1", Net: net, Naming: naming, InvokeTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o1.Close)
+	// Bind a name to an address that silently eats requests.
+	net.Register("blackhole", func(netsim.Message) {})
+	naming.Bind("sink", "blackhole")
+	if _, err := o1.Invoke("caller", "sink", "m", Any{}); !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestClientInterceptorShortCircuits(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o := newORB(t, net, naming, "node1", 4)
+	o.AddClientInterceptor(func(next Handler) Handler {
+		return func(req *Request) Reply {
+			if req.Target == "gc" {
+				// The FS-NewTOP pattern: hijack calls to the GC object.
+				return Reply{Value: BytesAny([]byte("intercepted"))}
+			}
+			return next(req)
+		}
+	})
+	o.Register("other", &echoServant{})
+	got, err := o.Invoke("caller", "gc", "submit", Any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Bytes()) != "intercepted" {
+		t.Fatalf("got %q", got.Bytes())
+	}
+	// Other targets flow through untouched.
+	got, err = o.Invoke("caller", "other", "echo", BytesAny([]byte("pass")))
+	if err != nil || string(got.Bytes()) != "pass" {
+		t.Fatalf("pass-through failed: %q, %v", got.Bytes(), err)
+	}
+}
+
+func TestServerInterceptorObservesAndSuppresses(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1 := newORB(t, net, naming, "node1", 4)
+	o2 := newORB(t, net, naming, "node2", 4)
+	srv := &echoServant{}
+	o2.Register("obj", srv)
+	var seen atomic.Int64
+	o2.AddServerInterceptor(func(next Handler) Handler {
+		return func(req *Request) Reply {
+			seen.Add(1)
+			if req.Method == "drop" {
+				return Reply{Value: BytesAny(nil)} // suppressed: servant never sees it
+			}
+			return next(req)
+		}
+	})
+	if _, err := o1.Invoke("c", "obj", "drop", Any{}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.calls.Load() != 0 {
+		t.Fatal("suppressed request reached the servant")
+	}
+	if _, err := o1.Invoke("c", "obj", "echo", Any{}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.calls.Load() != 1 || seen.Load() != 2 {
+		t.Fatalf("servant calls = %d, interceptor saw = %d", srv.calls.Load(), seen.Load())
+	}
+}
+
+func TestInterceptorOrdering(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o := newORB(t, net, naming, "node1", 4)
+	var order []string
+	var mu sync.Mutex
+	mk := func(name string) Interceptor {
+		return func(next Handler) Handler {
+			return func(req *Request) Reply {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return next(req)
+			}
+		}
+	}
+	o.AddClientInterceptor(mk("c1"))
+	o.AddClientInterceptor(mk("c2"))
+	o.AddServerInterceptor(mk("s1"))
+	o.Register("obj", &echoServant{})
+	if _, err := o.Invoke("caller", "obj", "echo", Any{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"c1", "c2", "s1"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", got)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestPoolCloseDiscardsQueue(t *testing.T) {
+	p := NewPool(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.Submit(func() { close(started); <-block })
+	<-started
+	var ran atomic.Bool
+	p.Submit(func() { ran.Store(true) })
+	close(block)
+	p.Close()
+	if ran.Load() {
+		t.Fatal("queued task ran after Close")
+	}
+	p.Submit(func() { ran.Store(true) }) // dropped
+	if p.Backlog() != 0 {
+		t.Fatal("submit after close queued a task")
+	}
+}
+
+func TestRequestReplyWireRoundTrip(t *testing.T) {
+	req := &Request{From: "a", Target: "b", Method: "m", OneWay: true, Arg: BytesAny([]byte("zz"))}
+	id, got, err := decodeRequest(encodeRequest(7, req))
+	if err != nil || id != 7 || got.From != "a" || got.Target != "b" || got.Method != "m" || !got.OneWay || string(got.Arg.Bytes()) != "zz" {
+		t.Fatalf("request round trip: %d %+v %v", id, got, err)
+	}
+	rid, rep, err := decodeReply(encodeReply(9, Reply{Err: "boom", Value: BytesAny([]byte("v"))}))
+	if err != nil || rid != 9 || rep.Err != "boom" || string(rep.Value.Bytes()) != "v" {
+		t.Fatalf("reply round trip: %d %+v %v", rid, rep, err)
+	}
+	if _, _, err := decodeRequest([]byte{1}); err == nil {
+		t.Fatal("garbage request decoded")
+	}
+	if _, _, err := decodeReply([]byte{1}); err == nil {
+		t.Fatal("garbage reply decoded")
+	}
+}
+
+func TestORBConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestCloseUnblocksPending(t *testing.T) {
+	net := testNet(t)
+	naming := NewNaming()
+	o1, err := New(Config{Addr: "node1", Net: net, Naming: naming, InvokeTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Register("blackhole", func(netsim.Message) {})
+	naming.Bind("sink", "blackhole")
+	done := make(chan error, 1)
+	go func() {
+		_, err := o1.Invoke("caller", "sink", "m", Any{})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	o1.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending invocation succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending invocation not unblocked by Close")
+	}
+}

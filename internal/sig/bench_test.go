@@ -1,0 +1,34 @@
+package sig
+
+import "testing"
+
+func BenchmarkDoubleEnvelopeHMAC(b *testing.B) {
+	a := NewHMACSigner("a", []byte("ka"))
+	c := NewHMACSigner("b", []byte("kb"))
+	dir := NewDirectory()
+	_ = dir.RegisterSigner(a)
+	_ = dir.RegisterSigner(c)
+	body := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := SignEnvelope(a, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbl, err := CounterSign(c, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dbl.Verify(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	body := make([]byte, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Digest(body)
+	}
+}

@@ -1,0 +1,145 @@
+package sig
+
+import (
+	"errors"
+	"fmt"
+
+	"fsnewtop/internal/codec"
+)
+
+// Envelope is a single-signed message: the first half of the paper's
+// double-signing discipline. A Compare thread signs each locally produced
+// output and forwards the envelope to its remote counterpart
+// (receiveSingle in Appendix A).
+type Envelope struct {
+	Signer ID
+	Body   []byte
+	Sig    []byte
+}
+
+// SignEnvelope signs body as s's identity.
+func SignEnvelope(s Signer, body []byte) (Envelope, error) {
+	sigBytes, err := s.Sign(body)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Signer: s.ID(), Body: body, Sig: sigBytes}, nil
+}
+
+// Verify checks the envelope's signature.
+func (e Envelope) Verify(v Verifier) error {
+	return v.Verify(e.Signer, e.Body, e.Sig)
+}
+
+// Encode appends the envelope's wire form to w.
+func (e Envelope) Encode(w *codec.Writer) {
+	w.String(string(e.Signer))
+	w.Bytes32(e.Body)
+	w.Bytes32(e.Sig)
+}
+
+// Marshal returns the envelope's wire form.
+func (e Envelope) Marshal() []byte {
+	w := codec.NewWriter(len(e.Body) + len(e.Sig) + len(e.Signer) + 16)
+	e.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeEnvelope reads an envelope written by Encode.
+func DecodeEnvelope(r *codec.Reader) Envelope {
+	return Envelope{
+		Signer: ID(r.String()),
+		Body:   r.Bytes32(),
+		Sig:    r.Bytes32(),
+	}
+}
+
+// UnmarshalEnvelope parses a complete envelope from b.
+func UnmarshalEnvelope(b []byte) (Envelope, error) {
+	r := codec.NewReader(b)
+	e := DecodeEnvelope(r)
+	if err := r.Finish(); err != nil {
+		return Envelope{}, fmt.Errorf("sig: decoding envelope: %w", err)
+	}
+	return e, nil
+}
+
+// Double is a double-signed message — the only valid output form of a
+// fail-signal process. The second signature covers the entire single-signed
+// envelope (body plus first signature), so a verifier learns both that the
+// content was produced and that it was independently checked. The paper:
+// "An output from FS p is valid only if it bears the authentic signatures
+// of both Compare and Compare'" (Section 2.1).
+type Double struct {
+	Envelope     // the single-signed inner message
+	Second    ID // the counter-signer
+	SecondSig []byte
+}
+
+// CounterSign adds s's signature over the single-signed envelope e.
+func CounterSign(s Signer, e Envelope) (Double, error) {
+	second, err := s.Sign(e.Marshal())
+	if err != nil {
+		return Double{}, err
+	}
+	return Double{Envelope: e, Second: s.ID(), SecondSig: second}, nil
+}
+
+// ErrSamePair is returned when a double signature's two signers are the
+// same identity: one faulty node must not be able to fabricate a valid FS
+// output on its own.
+var ErrSamePair = errors.New("sig: double signature by a single identity")
+
+// Verify checks both signatures and that they come from distinct identities.
+func (d Double) Verify(v Verifier) error {
+	if d.Signer == d.Second {
+		return fmt.Errorf("%w: %q", ErrSamePair, d.Signer)
+	}
+	if err := d.Envelope.Verify(v); err != nil {
+		return fmt.Errorf("sig: inner signature: %w", err)
+	}
+	if err := v.Verify(d.Second, d.Envelope.Marshal(), d.SecondSig); err != nil {
+		return fmt.Errorf("sig: counter signature: %w", err)
+	}
+	return nil
+}
+
+// SignedBy reports whether the double signature was produced by exactly
+// the pair {a, b}, in either order. Receivers use it to pin an FS output
+// to the replica pair registered for the claimed source.
+func (d Double) SignedBy(a, b ID) bool {
+	return (d.Signer == a && d.Second == b) || (d.Signer == b && d.Second == a)
+}
+
+// Encode appends the double envelope's wire form to w.
+func (d Double) Encode(w *codec.Writer) {
+	d.Envelope.Encode(w)
+	w.String(string(d.Second))
+	w.Bytes32(d.SecondSig)
+}
+
+// Marshal returns the double envelope's wire form.
+func (d Double) Marshal() []byte {
+	w := codec.NewWriter(len(d.Body) + len(d.Sig) + len(d.SecondSig) + 32)
+	d.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeDouble reads a double envelope written by Encode.
+func DecodeDouble(r *codec.Reader) Double {
+	return Double{
+		Envelope:  DecodeEnvelope(r),
+		Second:    ID(r.String()),
+		SecondSig: r.Bytes32(),
+	}
+}
+
+// UnmarshalDouble parses a complete double envelope from b.
+func UnmarshalDouble(b []byte) (Double, error) {
+	r := codec.NewReader(b)
+	d := DecodeDouble(r)
+	if err := r.Finish(); err != nil {
+		return Double{}, fmt.Errorf("sig: decoding double envelope: %w", err)
+	}
+	return d, nil
+}

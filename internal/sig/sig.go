@@ -1,0 +1,236 @@
+// Package sig implements the message signing and authentication substrate
+// assumed by the paper (assumption A5, Section 2.1): a process on a correct
+// node can sign the messages it sends, and a signed message can neither be
+// forged nor undetectably altered by a process on another node.
+//
+// Two schemes are provided:
+//
+//   - RSA over an MD5 digest (PKCS#1 v1.5) — the scheme the paper's
+//     prototype used ("MD5 using RSA encryption signature algorithm",
+//     Section 4). MD5 is cryptographically broken today; it is kept here
+//     for fidelity to the measured system, and because the performance
+//     experiments (Figures 6-8) include its cost on the output path.
+//   - HMAC-SHA256 with pairwise-shared keys — a fast symmetric substitute
+//     used in unit tests where thousands of signatures are produced.
+//
+// Both schemes implement the same Signer/Verifier interfaces, so every
+// protocol component is parameterised over the scheme.
+package sig
+
+import (
+	"crypto"
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ID names a signing principal (a node-resident process such as a Compare
+// thread, or a whole middleware endpoint).
+type ID string
+
+// Signer produces signatures bound to a single identity.
+type Signer interface {
+	// ID returns the identity whose key this signer holds.
+	ID() ID
+	// Sign returns a signature over data.
+	Sign(data []byte) ([]byte, error)
+}
+
+// Verifier checks signatures claimed to originate from an identity.
+type Verifier interface {
+	// Verify returns nil iff sig is a valid signature by id over data.
+	Verify(id ID, data, sig []byte) error
+}
+
+// ErrUnknownSigner is returned when no verification material is registered
+// for the claimed identity.
+var ErrUnknownSigner = errors.New("sig: unknown signer identity")
+
+// ErrBadSignature is returned when verification material is present but the
+// signature does not verify.
+var ErrBadSignature = errors.New("sig: signature verification failed")
+
+// --- RSA over MD5 (the paper's scheme) ---
+
+// RSAKeySize is the default modulus size in bits. 1024 bits matches the
+// era of the paper's prototype and keeps signing cost realistic without
+// dominating the benchmarks.
+const RSAKeySize = 1024
+
+// RSASigner signs with an RSA private key over an MD5 digest.
+type RSASigner struct {
+	id   ID
+	priv *rsa.PrivateKey
+}
+
+// NewRSASigner generates a fresh keypair for id using randomness from rnd
+// (crypto/rand.Reader if nil).
+func NewRSASigner(id ID, bits int, rnd io.Reader) (*RSASigner, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	if bits == 0 {
+		bits = RSAKeySize
+	}
+	priv, err := rsa.GenerateKey(rnd, bits)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generating RSA key for %q: %w", id, err)
+	}
+	return &RSASigner{id: id, priv: priv}, nil
+}
+
+// ID implements Signer.
+func (s *RSASigner) ID() ID { return s.id }
+
+// Public returns the public half of the signer's key, for registration in
+// a Directory.
+func (s *RSASigner) Public() *rsa.PublicKey { return &s.priv.PublicKey }
+
+// Sign implements Signer: MD5 digest, then PKCS#1 v1.5.
+func (s *RSASigner) Sign(data []byte) ([]byte, error) {
+	digest := md5.Sum(data)
+	sigBytes, err := rsa.SignPKCS1v15(nil, s.priv, crypto.MD5, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("sig: RSA signing as %q: %w", s.id, err)
+	}
+	return sigBytes, nil
+}
+
+// --- HMAC-SHA256 (fast symmetric scheme for tests) ---
+
+// HMACSigner signs with a per-identity symmetric key. All parties that
+// must verify the identity share the key via the Directory; this models a
+// trusted-key-distribution variant of A5 and is orders of magnitude faster
+// than RSA, which keeps large unit-test suites quick.
+type HMACSigner struct {
+	id  ID
+	key []byte
+}
+
+// NewHMACSigner returns a signer for id with the given symmetric key.
+func NewHMACSigner(id ID, key []byte) *HMACSigner {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &HMACSigner{id: id, key: k}
+}
+
+// ID implements Signer.
+func (s *HMACSigner) ID() ID { return s.id }
+
+// Key returns a copy of the symmetric key, for registration in a Directory.
+func (s *HMACSigner) Key() []byte {
+	k := make([]byte, len(s.key))
+	copy(k, s.key)
+	return k
+}
+
+// Sign implements Signer.
+func (s *HMACSigner) Sign(data []byte) ([]byte, error) {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write(data)
+	return mac.Sum(nil), nil
+}
+
+// --- Directory: the verification-material registry ---
+
+// Directory maps identities to their verification material and implements
+// Verifier for both schemes. It is safe for concurrent use. The zero value
+// is ready to use.
+type Directory struct {
+	mu   sync.RWMutex
+	rsa  map[ID]*rsa.PublicKey
+	hmac map[ID][]byte
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory { return &Directory{} }
+
+// RegisterRSA records the public key used to verify id's signatures.
+func (d *Directory) RegisterRSA(id ID, pub *rsa.PublicKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rsa == nil {
+		d.rsa = make(map[ID]*rsa.PublicKey)
+	}
+	d.rsa[id] = pub
+}
+
+// RegisterHMAC records the shared key used to verify id's signatures.
+func (d *Directory) RegisterHMAC(id ID, key []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hmac == nil {
+		d.hmac = make(map[ID][]byte)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	d.hmac[id] = k
+}
+
+// RegisterSigner registers the verification material for any signer type
+// produced by this package.
+func (d *Directory) RegisterSigner(s Signer) error {
+	switch s := s.(type) {
+	case *RSASigner:
+		d.RegisterRSA(s.ID(), s.Public())
+	case *HMACSigner:
+		d.RegisterHMAC(s.ID(), s.Key())
+	default:
+		return fmt.Errorf("sig: cannot extract verification material from %T", s)
+	}
+	return nil
+}
+
+// IDs returns all registered identities in sorted order.
+func (d *Directory) IDs() []ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ID, 0, len(d.rsa)+len(d.hmac))
+	for id := range d.rsa {
+		out = append(out, id)
+	}
+	for id := range d.hmac {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Verify implements Verifier.
+func (d *Directory) Verify(id ID, data, sigBytes []byte) error {
+	d.mu.RLock()
+	pub := d.rsa[id]
+	key := d.hmac[id]
+	d.mu.RUnlock()
+
+	switch {
+	case pub != nil:
+		digest := md5.Sum(data)
+		if err := rsa.VerifyPKCS1v15(pub, crypto.MD5, digest[:], sigBytes); err != nil {
+			return fmt.Errorf("%w: RSA check for %q", ErrBadSignature, id)
+		}
+		return nil
+	case key != nil:
+		mac := hmac.New(sha256.New, key)
+		mac.Write(data)
+		if !hmac.Equal(mac.Sum(nil), sigBytes) {
+			return fmt.Errorf("%w: HMAC check for %q", ErrBadSignature, id)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownSigner, id)
+	}
+}
+
+// Digest returns the content digest used to compare replica outputs and to
+// key candidate-message pools. SHA-256 rather than MD5: comparison keys are
+// internal and gain nothing from scheme fidelity, and collision resistance
+// here protects the self-checking property itself.
+func Digest(data []byte) [32]byte { return sha256.Sum256(data) }

@@ -1,0 +1,82 @@
+package sm
+
+import "sync"
+
+// Runner drives a Machine single-threaded from an unbounded input queue,
+// handing each step's outputs to a sink. It is the execution harness for
+// machines running *outside* a fail-signal wrapper (the wrapper has its own
+// ordered queue); both paths preserve the Machine contract that Step is
+// never called concurrently.
+type Runner struct {
+	machine Machine
+	sink    func([]Output)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Input
+	closed bool
+	done   chan struct{}
+}
+
+// NewRunner starts a runner. sink receives every non-empty output batch,
+// on the runner's goroutine.
+func NewRunner(machine Machine, sink func([]Output)) *Runner {
+	r := &Runner{machine: machine, sink: sink, done: make(chan struct{})}
+	r.cond = sync.NewCond(&r.mu)
+	go r.loop()
+	return r
+}
+
+// Submit enqueues one input. Submissions after Close are dropped.
+func (r *Runner) Submit(in Input) {
+	r.mu.Lock()
+	if !r.closed {
+		r.items = append(r.items, in)
+	}
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// Backlog reports the number of queued, unprocessed inputs.
+func (r *Runner) Backlog() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+// Close stops the runner after the current step and waits for the loop to
+// exit. Queued inputs are discarded.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return
+	}
+	r.closed = true
+	r.items = nil
+	r.mu.Unlock()
+	r.cond.Signal()
+	<-r.done
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	for {
+		r.mu.Lock()
+		for len(r.items) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		in := r.items[0]
+		r.items = r.items[1:]
+		r.mu.Unlock()
+
+		if outs := r.machine.Step(in); len(outs) > 0 && r.sink != nil {
+			r.sink(outs)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingMachine appends input kinds and echoes one output per input.
+type recordingMachine struct {
+	mu    sync.Mutex
+	kinds []string
+}
+
+func (r *recordingMachine) Step(in Input) []Output {
+	r.mu.Lock()
+	r.kinds = append(r.kinds, in.Kind)
+	r.mu.Unlock()
+	return []Output{{Kind: "echo:" + in.Kind, To: []string{"x"}}}
+}
+
+func (r *recordingMachine) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.kinds...)
+}
+
+func TestRunnerProcessesInOrder(t *testing.T) {
+	m := &recordingMachine{}
+	var mu sync.Mutex
+	var got []string
+	r := NewRunner(m, func(outs []Output) {
+		mu.Lock()
+		for _, o := range outs {
+			got = append(got, o.Kind)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 100; i++ {
+		r.Submit(Input{Kind: string(rune('a' + i%26))})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d outputs processed", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, k := range got {
+		want := "echo:" + string(rune('a'+i%26))
+		if k != want {
+			t.Fatalf("output %d = %q, want %q", i, k, want)
+		}
+	}
+	r.Close()
+}
+
+func TestRunnerCloseStopsProcessing(t *testing.T) {
+	m := &recordingMachine{}
+	r := NewRunner(m, nil)
+	r.Submit(Input{Kind: "one"})
+	r.Close()
+	r.Submit(Input{Kind: "after-close"})
+	time.Sleep(5 * time.Millisecond)
+	for _, k := range m.snapshot() {
+		if k == "after-close" {
+			t.Fatal("input processed after Close")
+		}
+	}
+	// Double close must not hang or panic.
+	r.Close()
+}
+
+func TestRunnerBacklog(t *testing.T) {
+	block := make(chan struct{})
+	m := &blockingMachine{block: block}
+	r := NewRunner(m, nil)
+	defer func() {
+		close(block)
+		r.Close()
+	}()
+	r.Submit(Input{Kind: "a"})
+	// Wait until the first input is being processed.
+	deadline := time.Now().Add(2 * time.Second)
+	for !m.started() {
+		if time.Now().After(deadline) {
+			t.Fatal("machine never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Submit(Input{Kind: "b"})
+	r.Submit(Input{Kind: "c"})
+	if got := r.Backlog(); got != 2 {
+		t.Fatalf("Backlog = %d, want 2", got)
+	}
+}
+
+type blockingMachine struct {
+	mu      sync.Mutex
+	began   bool
+	block   chan struct{}
+	stepped int
+}
+
+func (b *blockingMachine) Step(Input) []Output {
+	b.mu.Lock()
+	b.began = true
+	b.stepped++
+	b.mu.Unlock()
+	<-b.block
+	return nil
+}
+
+func (b *blockingMachine) started() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.began
+}

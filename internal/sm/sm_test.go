@@ -1,0 +1,179 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTickRoundTrip(t *testing.T) {
+	now := time.Date(2003, 1, 2, 3, 4, 5, 6, time.UTC)
+	in := Tick(now)
+	if in.Kind != TickKind {
+		t.Fatalf("Kind = %q", in.Kind)
+	}
+	got, err := DecodeTick(in.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(now) {
+		t.Fatalf("tick = %v, want %v", got, now)
+	}
+}
+
+func TestDecodeTickRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTick([]byte{1, 2}); err == nil {
+		t.Fatal("short tick decoded")
+	}
+	if _, err := DecodeTick(append(EncodeTick(time.Now()), 0)); err == nil {
+		t.Fatal("oversized tick decoded")
+	}
+}
+
+func TestInputRoundTrip(t *testing.T) {
+	in := Input{Kind: "gc.data", From: "node-3", Payload: []byte{9, 8, 7}}
+	got, err := UnmarshalInput(MarshalInput(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != in.Kind || got.From != in.From || string(got.Payload) != string(in.Payload) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestOutputRoundTrip(t *testing.T) {
+	out := Output{Kind: "gc.ack", To: []string{"a", "b"}, Payload: []byte("x")}
+	got, err := UnmarshalOutput(MarshalOutput(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !OutputsEqual(out, got) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestOutputsEqual(t *testing.T) {
+	base := Output{Kind: "k", To: []string{"x"}, Payload: []byte("p")}
+	same := Output{Kind: "k", To: []string{"x"}, Payload: []byte("p")}
+	if !OutputsEqual(base, same) {
+		t.Fatal("identical outputs compared unequal")
+	}
+	for _, other := range []Output{
+		{Kind: "k2", To: []string{"x"}, Payload: []byte("p")},
+		{Kind: "k", To: []string{"y"}, Payload: []byte("p")},
+		{Kind: "k", To: []string{"x", "y"}, Payload: []byte("p")},
+		{Kind: "k", To: []string{"x"}, Payload: []byte("q")},
+	} {
+		if OutputsEqual(base, other) {
+			t.Fatalf("distinct outputs compared equal: %+v", other)
+		}
+	}
+}
+
+// counter is a trivial deterministic machine: echoes its input count.
+type counter struct{ n int }
+
+func (c *counter) Step(in Input) []Output {
+	c.n++
+	return []Output{{Kind: "count", To: []string{"sink"}, Payload: []byte(fmt.Sprint(c.n))}}
+}
+
+// flaky diverges at a fixed step, simulating a determinism violation.
+type flaky struct {
+	n      int
+	broken bool
+}
+
+func (f *flaky) Step(in Input) []Output {
+	f.n++
+	p := fmt.Sprint(f.n)
+	if f.broken && f.n == 3 {
+		p = "corrupted"
+	}
+	return []Output{{Kind: "count", To: []string{"sink"}, Payload: []byte(p)}}
+}
+
+func TestCheckDeterminismPasses(t *testing.T) {
+	inputs := make([]Input, 10)
+	for i := range inputs {
+		inputs[i] = Input{Kind: "x"}
+	}
+	if err := CheckDeterminism(func() Machine { return &counter{} }, inputs); err != nil {
+		t.Fatalf("deterministic machine flagged: %v", err)
+	}
+}
+
+func TestCheckDeterminismCatchesDivergence(t *testing.T) {
+	instance := 0
+	factory := func() Machine {
+		instance++
+		return &flaky{broken: instance == 2}
+	}
+	inputs := make([]Input, 10)
+	for i := range inputs {
+		inputs[i] = Input{Kind: "x"}
+	}
+	err := CheckDeterminism(factory, inputs)
+	var div *Divergence
+	if !errors.As(err, &div) {
+		t.Fatalf("err = %v, want Divergence", err)
+	}
+	if div.Step != 2 {
+		t.Fatalf("diverged at step %d, want 2", div.Step)
+	}
+}
+
+// mismatchCount produces a different number of outputs on one replica.
+type mismatchCount struct{ extra bool }
+
+func (m *mismatchCount) Step(Input) []Output {
+	outs := []Output{{Kind: "a"}}
+	if m.extra {
+		outs = append(outs, Output{Kind: "b"})
+	}
+	return outs
+}
+
+func TestCheckDeterminismCatchesCountMismatch(t *testing.T) {
+	instance := 0
+	factory := func() Machine {
+		instance++
+		return &mismatchCount{extra: instance == 2}
+	}
+	err := CheckDeterminism(factory, []Input{{Kind: "x"}})
+	var div *Divergence
+	if !errors.As(err, &div) {
+		t.Fatalf("err = %v, want Divergence", err)
+	}
+}
+
+// Property: input marshaling is the identity.
+func TestQuickInputRoundTrip(t *testing.T) {
+	f := func(kind, from string, payload []byte) bool {
+		in := Input{Kind: kind, From: from, Payload: payload}
+		got, err := UnmarshalInput(MarshalInput(in))
+		return err == nil && got.Kind == kind && got.From == from && string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical output encoding means equality is reflexive and
+// any field change breaks equality.
+func TestQuickOutputEncodingCanonical(t *testing.T) {
+	f := func(kind string, to []string, payload []byte) bool {
+		a := Output{Kind: kind, To: to, Payload: payload}
+		b := Output{Kind: kind, To: append([]string(nil), to...), Payload: append([]byte(nil), payload...)}
+		if !OutputsEqual(a, b) {
+			return false
+		}
+		c := Output{Kind: kind + "!", To: to, Payload: payload}
+		return !OutputsEqual(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package vote implements the application level of the paper's Figure 4
+// deployment: server state machines replicated 2f+1 ways over a
+// totally-ordered group, with clients that multicast requests to the whole
+// group and majority-vote the replies. Given at most f Byzantine
+// application replicas, f+1 matching replies identify the correct result.
+//
+// The package composes over newtop.Service, so the same application code
+// runs on crash-tolerant NewTOP and Byzantine-tolerant FS-NewTOP — the
+// composability argument of Section 1.
+package vote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsnewtop/internal/codec"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+)
+
+// AppMachine is the replicated application: a deterministic state machine
+// over request bytes.
+type AppMachine interface {
+	// Apply executes one totally-ordered request and returns the reply.
+	Apply(req []byte) []byte
+}
+
+// AppMachineFunc adapts a function to AppMachine.
+type AppMachineFunc func(req []byte) []byte
+
+// Apply implements AppMachine.
+func (f AppMachineFunc) Apply(req []byte) []byte { return f(req) }
+
+// Request is a client request as multicast to the replica group.
+type Request struct {
+	ID     uint64
+	Client string // voter name; replies go to its endpoint
+	Body   []byte
+}
+
+// Marshal returns the canonical encoding.
+func (r Request) Marshal() []byte {
+	w := codec.NewWriter(len(r.Body) + len(r.Client) + 24)
+	w.U64(r.ID)
+	w.String(r.Client)
+	w.Bytes32(r.Body)
+	return w.Bytes()
+}
+
+// UnmarshalRequest decodes a Request.
+func UnmarshalRequest(b []byte) (Request, error) {
+	r := codec.NewReader(b)
+	req := Request{ID: r.U64(), Client: r.String()}
+	req.Body = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return Request{}, fmt.Errorf("vote: decoding request: %w", err)
+	}
+	return req, nil
+}
+
+// Response is one replica's reply to a request.
+type Response struct {
+	ID      uint64
+	Replica string
+	Body    []byte
+}
+
+// Marshal returns the canonical encoding.
+func (r Response) Marshal() []byte {
+	w := codec.NewWriter(len(r.Body) + len(r.Replica) + 24)
+	w.U64(r.ID)
+	w.String(r.Replica)
+	w.Bytes32(r.Body)
+	return w.Bytes()
+}
+
+// UnmarshalResponse decodes a Response.
+func UnmarshalResponse(b []byte) (Response, error) {
+	r := codec.NewReader(b)
+	resp := Response{ID: r.U64(), Replica: r.String()}
+	resp.Body = r.Bytes32()
+	if err := r.Finish(); err != nil {
+		return Response{}, fmt.Errorf("vote: decoding response: %w", err)
+	}
+	return resp, nil
+}
+
+// msgResponse is the direct (non-group) reply message kind.
+const msgResponse = "vote.resp"
+
+// voterAddr is the network endpoint of a voter.
+func voterAddr(name string) netsim.Addr { return netsim.Addr("voter:" + name) }
+
+// Replica runs one application replica on top of a group member: it
+// consumes the member's totally-ordered deliveries, applies requests to
+// the app machine, and replies directly to the requesting voter.
+type Replica struct {
+	name  string
+	app   AppMachine
+	net   *netsim.Network
+	addr  netsim.Addr
+	group string
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewReplica starts an application replica. svc must already be (or soon
+// become) a member of groupName; the replica consumes its delivery stream.
+func NewReplica(name, groupName string, svc newtop.Service, app AppMachine, net *netsim.Network) *Replica {
+	r := &Replica{
+		name:  name,
+		app:   app,
+		net:   net,
+		addr:  netsim.Addr("appreplica:" + name),
+		group: groupName,
+		done:  make(chan struct{}),
+	}
+	net.Register(r.addr, func(netsim.Message) {})
+	r.wg.Add(1)
+	go r.loop(svc)
+	return r
+}
+
+// Close stops consuming deliveries.
+func (r *Replica) Close() {
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *Replica) loop(svc newtop.Service) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case d := <-svc.Deliveries():
+			if d.Group != r.group {
+				continue
+			}
+			req, err := UnmarshalRequest(d.Payload)
+			if err != nil {
+				continue
+			}
+			result := r.app.Apply(req.Body)
+			resp := Response{ID: req.ID, Replica: r.name, Body: result}
+			_ = r.net.Send(r.addr, voterAddr(req.Client), msgResponse, resp.Marshal())
+		}
+	}
+}
+
+// Voter is the client side: it multicasts requests through its own group
+// membership and accepts a result once f+1 replicas agree on it.
+type Voter struct {
+	name  string
+	f     int
+	svc   newtop.Service
+	group string
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*ballot
+}
+
+// ballot accumulates replies for one request.
+type ballot struct {
+	votes   map[string]int      // result digest → count
+	voted   map[string]struct{} // replicas already counted
+	bodies  map[string][]byte   // digest → result bytes
+	decided chan []byte         // closed-with-value on majority
+}
+
+// NewVoter creates a voting client. f is the Byzantine fault bound: a
+// result needs f+1 matching replies. The voter's svc must be a member of
+// groupName (it multicasts but does not apply requests).
+func NewVoter(name, groupName string, f int, svc newtop.Service, net *netsim.Network) *Voter {
+	v := &Voter{
+		name:    name,
+		f:       f,
+		svc:     svc,
+		group:   groupName,
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*ballot),
+	}
+	net.Register(voterAddr(name), v.onMessage)
+	// The voter is a group member (so it can multicast) but does not apply
+	// requests; its delivery stream must still be drained.
+	v.wg.Add(1)
+	go func() {
+		defer v.wg.Done()
+		for {
+			select {
+			case <-v.done:
+				return
+			case <-svc.Deliveries():
+			case <-svc.Views():
+			}
+		}
+	}()
+	return v
+}
+
+// Close stops the voter's drain loop.
+func (v *Voter) Close() {
+	close(v.done)
+	v.wg.Wait()
+}
+
+func (v *Voter) onMessage(msg netsim.Message) {
+	if msg.Kind != msgResponse {
+		return
+	}
+	resp, err := UnmarshalResponse(msg.Payload)
+	if err != nil {
+		return
+	}
+	v.mu.Lock()
+	b, ok := v.pending[resp.ID]
+	if !ok {
+		v.mu.Unlock()
+		return
+	}
+	if _, dup := b.voted[resp.Replica]; dup {
+		v.mu.Unlock()
+		return // one replica, one vote
+	}
+	b.voted[resp.Replica] = struct{}{}
+	key := string(resp.Body)
+	b.votes[key]++
+	b.bodies[key] = resp.Body
+	if b.votes[key] == v.f+1 {
+		result := b.bodies[key]
+		delete(v.pending, resp.ID)
+		v.mu.Unlock()
+		b.decided <- result
+		return
+	}
+	v.mu.Unlock()
+}
+
+// Submit multicasts one request to the replica group and waits for f+1
+// matching replies.
+func (v *Voter) Submit(body []byte, timeout time.Duration) ([]byte, error) {
+	v.mu.Lock()
+	v.nextID++
+	id := v.nextID
+	b := &ballot{
+		votes:   make(map[string]int),
+		voted:   make(map[string]struct{}),
+		bodies:  make(map[string][]byte),
+		decided: make(chan []byte, 1),
+	}
+	v.pending[id] = b
+	v.mu.Unlock()
+
+	req := Request{ID: id, Client: v.name, Body: body}
+	if err := v.svc.Multicast(v.group, group.TotalSym, req.Marshal()); err != nil {
+		v.mu.Lock()
+		delete(v.pending, id)
+		v.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case result := <-b.decided:
+		return result, nil
+	case <-time.After(timeout):
+		v.mu.Lock()
+		delete(v.pending, id)
+		v.mu.Unlock()
+		return nil, fmt.Errorf("vote: request %d: no majority within %v", id, timeout)
+	}
+}

@@ -1,0 +1,255 @@
+package vote
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/faults"
+	"fsnewtop/internal/fsnewtop"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/netsim"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/orb"
+)
+
+// counterApp is a deterministic app: each request adds its length to a
+// running total; replies carry the total.
+func counterApp() AppMachine {
+	total := 0
+	return AppMachineFunc(func(req []byte) []byte {
+		total += len(req)
+		return []byte(fmt.Sprintf("total=%d", total))
+	})
+}
+
+// deployment bundles one replicated-service deployment: a voter plus 2f+1
+// app replicas over either middleware.
+type deployment struct {
+	net      *netsim.Network
+	voter    *Voter
+	replicas []*Replica
+	services map[string]*newtop.NSO
+}
+
+// deployNewTOP builds the crash-tolerant variant.
+func deployNewTOP(t *testing.T, f int, apps []AppMachine) *deployment {
+	t.Helper()
+	n := 2*f + 1
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)}))
+	t.Cleanup(net.Close)
+	naming := orb.NewNaming()
+	members := []string{"client"}
+	for i := 0; i < n; i++ {
+		members = append(members, fmt.Sprintf("r%d", i))
+	}
+	services := map[string]newtop.Service{}
+	for _, m := range members {
+		svc, err := newtop.New(newtop.Config{
+			Name:         m,
+			Net:          net,
+			Naming:       naming,
+			Clock:        clock.NewReal(),
+			TickInterval: 5 * time.Millisecond,
+			GC:           group.Config{SuspectAfter: time.Minute},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[m] = svc
+		t.Cleanup(svc.Close)
+	}
+	for _, m := range members {
+		if err := services[m].Join("app", members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := &deployment{net: net, services: map[string]*newtop.NSO{}}
+	for m, s := range services {
+		if nso, ok := s.(*newtop.NSO); ok {
+			d.services[m] = nso
+		}
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rep := NewReplica(name, "app", services[name], apps[i], net)
+		d.replicas = append(d.replicas, rep)
+		t.Cleanup(rep.Close)
+	}
+	d.voter = NewVoter("client", "app", f, services["client"], net)
+	t.Cleanup(d.voter.Close)
+	return d
+}
+
+// deployFSNewTOP builds the Byzantine-tolerant variant (Figure 4: 4f+2
+// middleware nodes behind 2f+1 app replicas plus the client).
+func deployFSNewTOP(t *testing.T, f int, apps []AppMachine) *deployment {
+	t.Helper()
+	n := 2*f + 1
+	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)}))
+	t.Cleanup(net.Close)
+	fab := fsnewtop.NewFabric(net, clock.NewReal())
+	members := []string{"client"}
+	for i := 0; i < n; i++ {
+		members = append(members, fmt.Sprintf("r%d", i))
+	}
+	services := map[string]newtop.Service{}
+	for _, m := range members {
+		peers := make([]string, 0, len(members)-1)
+		for _, p := range members {
+			if p != m {
+				peers = append(peers, p)
+			}
+		}
+		svc, err := fsnewtop.New(fsnewtop.Config{
+			Name:         m,
+			Fabric:       fab,
+			Peers:        peers,
+			Delta:        30 * time.Millisecond,
+			TickInterval: 5 * time.Millisecond,
+			GC:           group.Config{ResendAfter: 20 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[m] = svc
+		t.Cleanup(svc.Close)
+	}
+	for _, m := range members {
+		if err := services[m].Join("app", members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := &deployment{net: net}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("r%d", i)
+		rep := NewReplica(name, "app", services[name], apps[i], net)
+		d.replicas = append(d.replicas, rep)
+		t.Cleanup(rep.Close)
+	}
+	d.voter = NewVoter("client", "app", f, services["client"], net)
+	t.Cleanup(d.voter.Close)
+	return d
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	req := Request{ID: 7, Client: "c", Body: []byte("b")}
+	gotReq, err := UnmarshalRequest(req.Marshal())
+	if err != nil || gotReq.ID != 7 || gotReq.Client != "c" || string(gotReq.Body) != "b" {
+		t.Fatalf("request round trip: %+v %v", gotReq, err)
+	}
+	resp := Response{ID: 9, Replica: "r", Body: []byte("x")}
+	gotResp, err := UnmarshalResponse(resp.Marshal())
+	if err != nil || gotResp.ID != 9 || gotResp.Replica != "r" || string(gotResp.Body) != "x" {
+		t.Fatalf("response round trip: %+v %v", gotResp, err)
+	}
+	if _, err := UnmarshalRequest([]byte{1}); err == nil {
+		t.Fatal("garbage request decoded")
+	}
+	if _, err := UnmarshalResponse([]byte{1}); err == nil {
+		t.Fatal("garbage response decoded")
+	}
+}
+
+func TestVotingAllCorrectOverNewTOP(t *testing.T) {
+	apps := []AppMachine{counterApp(), counterApp(), counterApp()}
+	d := deployNewTOP(t, 1, apps)
+	for i := 1; i <= 3; i++ {
+		got, err := d.voter.Submit([]byte("xx"), 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("total=%d", 2*i)
+		if string(got) != want {
+			t.Fatalf("request %d: got %q, want %q (replica state machines diverged?)", i, got, want)
+		}
+	}
+}
+
+func TestVotingMasksOneLiarOverNewTOP(t *testing.T) {
+	inner := counterApp()
+	apps := []AppMachine{
+		counterApp(),
+		&faults.LyingApp{Inner: inner.Apply},
+		counterApp(),
+	}
+	d := deployNewTOP(t, 1, apps)
+	got, err := d.voter.Submit([]byte("abc"), 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "total=3" {
+		t.Fatalf("majority result = %q, want total=3", got)
+	}
+}
+
+func TestVotingNoMajorityWithTwoIndependentLiars(t *testing.T) {
+	innerA, innerB := counterApp(), counterApp()
+	apps := []AppMachine{
+		&faults.LyingApp{Inner: innerA.Apply, Mask: 0x0F},
+		&faults.LyingApp{Inner: innerB.Apply, Mask: 0xF0},
+		counterApp(),
+	}
+	d := deployNewTOP(t, 1, apps)
+	if _, err := d.voter.Submit([]byte("abc"), 2*time.Second); err == nil {
+		t.Fatal("voter accepted a result despite two independent liars (f exceeded)")
+	}
+}
+
+func TestVotingOverFSNewTOP(t *testing.T) {
+	inner := counterApp()
+	apps := []AppMachine{
+		counterApp(),
+		&faults.LyingApp{Inner: inner.Apply},
+		counterApp(),
+	}
+	d := deployFSNewTOP(t, 1, apps)
+	for i := 1; i <= 2; i++ {
+		got, err := d.voter.Submit([]byte("wxyz"), 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("total=%d", 4*i)
+		if string(got) != want {
+			t.Fatalf("request %d over FS-NewTOP: got %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestVoterCountsOneVotePerReplica(t *testing.T) {
+	// A single replica repeating itself must not reach a 2-vote majority.
+	net := netsim.New(clock.NewReal())
+	defer net.Close()
+	naming := orb.NewNaming()
+	svc, err := newtop.New(newtop.Config{
+		Name: "client", Net: net, Naming: naming,
+		Clock: clock.NewReal(), TickInterval: 5 * time.Millisecond,
+		GC: group.Config{SuspectAfter: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Join("app", []string{"client"}); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVoter("client", "app", 1, svc, net)
+	defer v.Close()
+
+	net.Register("spammer", func(netsim.Message) {})
+	done := make(chan error, 1)
+	go func() {
+		_, err := v.Submit([]byte("q"), time.Second)
+		done <- err
+	}()
+	// Spam duplicate votes from one identity.
+	time.Sleep(50 * time.Millisecond)
+	resp := Response{ID: 1, Replica: "r0", Body: []byte("forged")}
+	for i := 0; i < 5; i++ {
+		_ = net.Send("spammer", voterAddr("client"), msgResponse, resp.Marshal())
+	}
+	if err := <-done; err == nil {
+		t.Fatal("duplicate votes from one replica reached a majority")
+	}
+}
