@@ -66,17 +66,24 @@ func BenchmarkFig6OrderLatency(b *testing.B) {
 }
 
 // BenchmarkFig7Throughput regenerates Figure 7: throughput vs group size
-// 2..15 with the paper's default 10-worker request pool.
+// with the paper's default 10-worker request pool. The paper sweeps 2..15;
+// the sharded netsim dispatcher lets the sweep extend to 25 and 40 members
+// (40 FS members = 80 replica processes, 6320 directed links) within the
+// same per-run timeout.
 func BenchmarkFig7Throughput(b *testing.B) {
-	for _, members := range []int{2, 6, 10, 15} {
+	for _, members := range []int{2, 6, 10, 15, 25, 40} {
 		for _, sys := range []bench.System{bench.SystemNewTOP, bench.SystemFSNewTOP} {
 			b.Run(fmt.Sprintf("%v/members=%d", sys, members), func(b *testing.B) {
 				opts := figureOpts(sys, members)
 				opts.MsgsPerMember = 15
 				if members >= 15 {
 					// The single-core host serves 2n replica processes in
-					// the FS runs; keep the largest sweep point bounded.
+					// the FS runs; keep the largest sweep points bounded.
 					opts.MsgsPerMember = 8
+				}
+				if members >= 25 {
+					opts.MsgsPerMember = 5
+					opts.SendInterval = 4 * time.Millisecond
 				}
 				runFigure(b, opts)
 			})

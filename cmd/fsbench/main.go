@@ -3,11 +3,15 @@
 //	fsbench -exp fig6            # ordering latency vs group size (2..10)
 //	fsbench -exp fig7            # throughput vs group size (2..15)
 //	fsbench -exp fig8            # throughput vs message size (10 members)
+//	fsbench -exp soak            # large-group scheduler soak (40 members)
 //	fsbench -exp all -msgs 1000  # the paper's full message count
 //
 // Each experiment runs both NewTOP (crash-tolerant baseline) and
 // FS-NewTOP (Byzantine-tolerant extension) over the same simulated fabric
-// and prints the paper's series side by side.
+// and prints the paper's series side by side. With -json <dir>, figure
+// experiments additionally write machine-readable series as
+// BENCH_fig{6,7,8}.json under <dir>, so the perf trajectory stays
+// diffable across changes.
 package main
 
 import (
@@ -23,15 +27,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6, fig7, fig8 or all")
+		exp      = flag.String("exp", "all", "experiment: fig6, fig7, fig8, soak or all")
 		msgs     = flag.Int("msgs", 100, "messages per member (paper: 1000)")
 		interval = flag.Duration("interval", 2*time.Millisecond, "inter-send interval per member")
 		pool     = flag.Int("pool", 0, "ORB request pool size (0 = paper default 10)")
 		rsa      = flag.Bool("rsa", false, "sign FS outputs with MD5-and-RSA (the paper's scheme) instead of HMAC")
 		members  = flag.String("members", "", "comma-separated group sizes override (fig6/fig7)")
 		sizes    = flag.String("sizes", "", "comma-separated message sizes override in bytes (fig8)")
+		soakSize = flag.Int("soak-members", 40, "group size for -exp soak")
+		soakMsgs = flag.Int("soak-msgs", 5, "messages per member for -exp soak")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		seed     = flag.Int64("seed", 1, "network randomness seed")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_fig{6,7,8}.json series into")
 	)
 	flag.Parse()
 
@@ -44,16 +51,48 @@ func main() {
 		Seed:          *seed,
 	}
 
+	emit := func(figure, xAxis string, rows []bench.Row) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, rows))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s series: %v\n", figure, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	runSoak := func() {
+		for _, sys := range []bench.System{bench.SystemNewTOP, bench.SystemFSNewTOP} {
+			opts := base
+			opts.System = sys
+			opts.Members = *soakSize
+			opts.MsgsPerMember = *soakMsgs
+			opts.SendInterval = 4 * time.Millisecond
+			res, err := bench.RunSoak(opts)
+			fmt.Print(bench.FormatSoak(res, err))
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "fig6":
-			fmt.Print(bench.FormatFig6(bench.RunFig6(base, parseInts(*members))))
+			rows := bench.RunFig6(base, parseInts(*members))
+			fmt.Print(bench.FormatFig6(rows))
+			emit("fig6", "members", rows)
 		case "fig7":
-			fmt.Print(bench.FormatFig7(bench.RunFig7(base, parseInts(*members))))
+			rows := bench.RunFig7(base, parseInts(*members))
+			fmt.Print(bench.FormatFig7(rows))
+			emit("fig7", "members", rows)
 		case "fig8":
-			fmt.Print(bench.FormatFig8(bench.RunFig8(base, parseInts(*sizes))))
+			rows := bench.RunFig8(base, parseInts(*sizes))
+			fmt.Print(bench.FormatFig8(rows))
+			emit("fig8", "bytes", rows)
+		case "soak":
+			runSoak()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8 or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak or all)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println()

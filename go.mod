@@ -1,0 +1,3 @@
+module fsnewtop
+
+go 1.22

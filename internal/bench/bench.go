@@ -108,8 +108,14 @@ func (o *Options) fillDefaults() {
 		// timeout, not a wait, so failure-free benchmark runs pay nothing
 		// for it, while a small δ on a loaded (or single-core) host lets
 		// scheduling noise masquerade as replica failure — the A3/A4
-		// caveat from the paper's concluding remarks.
-		o.Delta = time.Second
+		// caveat from the paper's concluding remarks. The bound scales
+		// with group size because a single host multiplexes 2n replica
+		// processes: at 25+ members a fixed 1 s deadline made every pair
+		// fail-signal under scheduler pressure.
+		o.Delta = time.Duration(o.Members) * 500 * time.Millisecond
+		if o.Delta < time.Second {
+			o.Delta = time.Second
+		}
 	}
 	if o.LANLatency == 0 {
 		o.LANLatency = 50 * time.Microsecond

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestSeriesRoundTrip(t *testing.T) {
+	rows := []Row{
+		{
+			X:      4,
+			NewTOP: Result{Members: 4, MsgsPerMember: 10, Throughput: 1234.5, Delivered: 160, Expected: 160},
+			FSNewTOP: Result{
+				Members: 4, MsgsPerMember: 10, Throughput: 987.6, Delivered: 160, Expected: 160,
+			},
+		},
+		{X: 8, NewTOPErr: "timed out"},
+	}
+	s := ToSeries("fig7", "members", rows)
+	if s.Figure != "fig7" || len(s.NewTOP) != 2 || len(s.FSNewTOP) != 2 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.NewTOP[0].ThroughputMPS != 1234.5 || s.NewTOP[1].Err != "timed out" {
+		t.Fatalf("points = %+v", s.NewTOP)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteSeries(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Figure != "fig7" || back.XAxis != "members" || back.NewTOP[0].X != 4 {
+		t.Fatalf("decoded = %+v", back)
+	}
+}
+
+func TestLatencyUnitsAreMicroseconds(t *testing.T) {
+	r := Result{}
+	r.Latency.Mean = 1500 * time.Microsecond
+	p := toPoint(1, r, "")
+	if p.LatencyMeanUS != 1500 {
+		t.Fatalf("mean = %v µs, want 1500", p.LatencyMeanUS)
+	}
+}
+
+// TestRunSoakSmall exercises the soak driver at toy scale so CI covers the
+// goroutine-sampling plumbing without paying for a 40-member run.
+func TestRunSoakSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunSoak(Options{
+		System:        SystemNewTOP,
+		Members:       3,
+		MsgsPerMember: 3,
+		SendInterval:  500 * time.Microsecond,
+		Timeout:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Expected {
+		t.Fatalf("delivered %d of %d", res.Delivered, res.Expected)
+	}
+	if res.GoroutinesPeak < res.GoroutinesBefore {
+		t.Fatalf("peak %d below before %d", res.GoroutinesPeak, res.GoroutinesBefore)
+	}
+	out := FormatSoak(res, nil)
+	if out == "" {
+		t.Fatal("empty soak report")
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SoakResult augments a large-group run with scheduler health numbers:
+// the goroutine high-water mark is the observable difference between the
+// per-link-goroutine netsim (O(links), ~2 per directed link) and the
+// sharded dispatcher (O(shards)).
+type SoakResult struct {
+	Result
+	GoroutinesBefore int
+	GoroutinesPeak   int
+	GoroutinesAfter  int
+}
+
+// RunSoak executes one large-group scenario (default 40 members — 80
+// replica processes and 6320 directed links under FS-NewTOP) while
+// sampling the process goroutine count.
+func RunSoak(opts Options) (SoakResult, error) {
+	if opts.Members == 0 {
+		opts.Members = 40
+	}
+	if opts.MsgsPerMember == 0 {
+		opts.MsgsPerMember = 5
+	}
+	if opts.SendInterval == 0 {
+		opts.SendInterval = 4 * time.Millisecond
+	}
+
+	sr := SoakResult{GoroutinesBefore: runtime.NumGoroutine()}
+	sr.GoroutinesPeak = sr.GoroutinesBefore
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				if g := runtime.NumGoroutine(); g > sr.GoroutinesPeak {
+					sr.GoroutinesPeak = g
+				}
+			}
+		}
+	}()
+
+	res, err := Run(opts)
+	close(stop)
+	<-sampled
+	sr.Result = res
+	// Services shut down asynchronously; give their goroutines a beat.
+	time.Sleep(50 * time.Millisecond)
+	sr.GoroutinesAfter = runtime.NumGoroutine()
+	return sr, err
+}
+
+// FormatSoak renders one system's soak report.
+func FormatSoak(sr SoakResult, err error) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Soak — %v, %d members, %d msgs/member\n", sr.System, sr.Members, sr.MsgsPerMember)
+	if err != nil {
+		fmt.Fprintf(&b, "  run error: %v\n", err)
+	}
+	fmt.Fprintf(&b, "  delivered   %d of %d\n", sr.Delivered, sr.Expected)
+	fmt.Fprintf(&b, "  latency     %v\n", sr.Latency)
+	fmt.Fprintf(&b, "  throughput  %.0f msgs/sec per member\n", sr.Throughput)
+	fmt.Fprintf(&b, "  fabric      %d messages, %d bytes\n", sr.NetMessages, sr.NetBytes)
+	fmt.Fprintf(&b, "  elapsed     %v\n", sr.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  goroutines  %d before, %d peak, %d after\n",
+		sr.GoroutinesBefore, sr.GoroutinesPeak, sr.GoroutinesAfter)
+	return b.String()
+}

@@ -89,7 +89,7 @@ func (p phaseMsg) marshal() []byte {
 func unmarshalPhaseMsg(b []byte) (phaseMsg, error) {
 	r := codec.NewReader(b)
 	p := phaseMsg{View: r.U64(), Seq: r.U64()}
-	copy(p.Digest[:], r.Bytes32())
+	copy(p.Digest[:], r.BytesView())
 	p.Req = r.Bytes32()
 	if err := r.Finish(); err != nil {
 		return phaseMsg{}, fmt.Errorf("bftbase: decoding phase message: %w", err)

@@ -93,8 +93,25 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// grow ensures capacity for n more bytes, reallocating at most once —
+// slice writers call it up front so a large slice costs one growth
+// instead of O(log n) incremental ones.
+func (w *Writer) grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	grown := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(grown, w.buf)
+	w.buf = grown
+}
+
 // StringSlice appends a count-prefixed slice of strings.
 func (w *Writer) StringSlice(ss []string) {
+	total := 4
+	for _, s := range ss {
+		total += 4 + len(s)
+	}
+	w.grow(total)
 	w.U32(uint32(len(ss)))
 	for _, s := range ss {
 		w.String(s)
@@ -103,6 +120,7 @@ func (w *Writer) StringSlice(ss []string) {
 
 // U64Slice appends a count-prefixed slice of uint64s.
 func (w *Writer) U64Slice(vs []uint64) {
+	w.grow(4 + 8*len(vs))
 	w.U32(uint32(len(vs)))
 	for _, v := range vs {
 		w.U64(v)
@@ -217,6 +235,30 @@ func (r *Reader) Bytes32() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+// BytesView reads a length-prefixed byte string without copying: the
+// returned slice aliases the reader's underlying buffer and is valid only
+// as long as that buffer is neither mutated nor recycled. It exists for
+// callers that immediately hash, compare or re-encode the field — the
+// fail-signal output-comparison path does all three — where Bytes32's
+// defensive copy is pure overhead. Callers that retain the field must use
+// Bytes32.
+func (r *Reader) BytesView() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytes {
+		r.err = fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+		return nil
+	}
+	if r.fail(n) {
+		return nil
+	}
+	out := r.buf[r.off : r.off+n : r.off+n]
 	r.off += n
 	return out
 }

@@ -111,18 +111,22 @@ type ReplicaStats struct {
 }
 
 // icmpEntry is an Internal Candidate Message Pool entry: one locally
-// produced output awaiting comparison.
+// produced output awaiting comparison. Its compare deadline lives on the
+// replica's watchdog heap.
 type icmpEntry struct {
 	digest [32]byte
 	dests  []string
-	cancel chan struct{}
+	w      *watch
 }
 
 // irmpEntry is an Internal Received Message Pool entry (follower only):
-// one externally received input not yet ordered by the leader.
+// one externally received input not yet ordered by the leader. cancel
+// covers the queued-for-relay stage (relayLoop selects on it); w covers
+// the post-relay t2 deadline.
 type irmpEntry struct {
 	raw    []byte
 	cancel chan struct{}
+	w      *watch
 	due    time.Time // when the t1 relay falls due
 }
 
@@ -135,6 +139,7 @@ type Replica struct {
 	relayq *relayQueue
 	stop   chan struct{}
 	wg     sync.WaitGroup
+	wd     watchdog
 
 	mu         sync.Mutex
 	seen       map[string]struct{}
@@ -174,6 +179,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ecmp:   make(map[uint64]sig.Envelope),
 		irmp:   make(map[string]*irmpEntry),
 	}
+	r.wd.init(cfg.Clock, r.stop, &r.wg, r.watchFired)
 	cfg.Net.Register(cfg.Self, r.handle)
 	r.wg.Add(1)
 	go r.machineLoop()
@@ -233,11 +239,12 @@ func (r *Replica) shutdown() {
 	}
 	r.closed = true
 	for _, e := range r.icmp {
-		close(e.cancel)
+		r.wd.cancel(e.w)
 	}
 	r.icmp = map[uint64]*icmpEntry{}
 	for _, e := range r.irmp {
 		close(e.cancel)
+		r.wd.cancel(e.w)
 	}
 	r.irmp = map[string]*irmpEntry{}
 	r.mu.Unlock()
@@ -398,23 +405,15 @@ func (r *Replica) relayLoop() {
 		r.mu.Unlock()
 		_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgRelay, item.e.raw)
 
-		r.wg.Add(1)
-		go r.irmpExpiry(item.key, item.e)
+		// Arm the t2 deadline: the leader must order the relayed input or
+		// the pair fail-signals. Re-check the pool — the leader may have
+		// ordered it during the Send.
+		r.mu.Lock()
+		if _, still := r.irmp[item.key]; still && !r.failed && !r.closed {
+			item.e.w = r.wd.arm(watchOrder, item.key, 0, r.cfg.T2)
+		}
+		r.mu.Unlock()
 	}
-}
-
-// irmpExpiry concludes the leader has failed if it does not order a
-// relayed input within t2.
-func (r *Replica) irmpExpiry(key string, e *irmpEntry) {
-	defer r.wg.Done()
-	t := r.cfg.Clock.NewTimer(r.cfg.T2)
-	select {
-	case <-e.cancel:
-		t.Stop()
-		return
-	case <-t.C():
-	}
-	r.failSignal(fmt.Sprintf("leader did not order input %s within t2=%v", key, r.cfg.T2))
 }
 
 // onFwd handles a leader-ordered input arriving at the follower
@@ -473,6 +472,7 @@ func (r *Replica) onFwd(msg netsim.Message) {
 	r.seen[key] = struct{}{}
 	if e, pending := r.irmp[key]; pending {
 		close(e.cancel)
+		r.wd.cancel(e.w)
 		delete(r.irmp, key)
 	}
 	r.stats.Ordered++
@@ -602,26 +602,25 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 		r.dispatchMatched(peerEnv, out.To)
 		return
 	}
-	e := &icmpEntry{digest: digest, dests: out.To, cancel: make(chan struct{})}
+	e := &icmpEntry{digest: digest, dests: out.To}
+	e.w = r.wd.arm(watchCompare, "", seq, deadline)
 	r.icmp[seq] = e
 	r.mu.Unlock()
-
-	r.wg.Add(1)
-	go r.icmpWatch(seq, e, deadline)
 }
 
-// icmpWatch fail-signals if the peer's matching candidate does not arrive
-// within the deadline.
-func (r *Replica) icmpWatch(seq uint64, e *icmpEntry, deadline time.Duration) {
-	defer r.wg.Done()
-	t := r.cfg.Clock.NewTimer(deadline)
-	select {
-	case <-e.cancel:
-		t.Stop()
-		return
-	case <-t.C():
+// watchFired turns an expired watchdog deadline into the corresponding
+// fail-signal. It runs on the watchdog goroutine; failSignal is idempotent
+// and no-ops on already-failed or closed replicas, which also covers the
+// benign race where a match lands between a watch expiring and firing
+// (the goroutine-per-deadline implementation had the same window between
+// its timer firing and its select waking).
+func (r *Replica) watchFired(w *watch) {
+	switch w.kind {
+	case watchCompare:
+		r.failSignal(fmt.Sprintf("output %d not matched within %v", w.oseq, w.d))
+	case watchOrder:
+		r.failSignal(fmt.Sprintf("leader did not order input %s within t2=%v", w.key, r.cfg.T2))
 	}
-	r.failSignal(fmt.Sprintf("output %d not matched within %v", seq, deadline))
 }
 
 // onSingle implements the Compare receive side: a single-signed candidate
@@ -653,7 +652,7 @@ func (r *Replica) onSingle(msg netsim.Message) {
 		return
 	}
 	if e, ok := r.icmp[body.Seq]; ok {
-		close(e.cancel)
+		r.wd.cancel(e.w)
 		delete(r.icmp, body.Seq)
 		match := sig.Digest(env.Body) == e.digest
 		if match {
@@ -728,7 +727,7 @@ func (r *Replica) failSignal(reason string) {
 	r.failed = true
 	destSet := make(map[string]struct{})
 	for _, e := range r.icmp {
-		close(e.cancel)
+		r.wd.cancel(e.w)
 		for _, d := range e.dests {
 			destSet[d] = struct{}{}
 		}
@@ -736,6 +735,7 @@ func (r *Replica) failSignal(reason string) {
 	r.icmp = map[uint64]*icmpEntry{}
 	for _, e := range r.irmp {
 		close(e.cancel)
+		r.wd.cancel(e.w)
 	}
 	r.irmp = map[string]*irmpEntry{}
 	for _, w := range r.cfg.Watchers {

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+)
+
+// BenchmarkNetsimFanout drives an N-sender × M-receiver all-to-all workload
+// — the traffic shape every protocol in this repository generates during a
+// symmetric-total-order round — and reports:
+//
+//	msgs/sec        sustained delivery rate
+//	allocs/msg      allocations per delivered message
+//	peak-goroutines high-water goroutine count during the run
+//
+// The peak-goroutines metric is the scheduler-rework acceptance check: the
+// per-link-goroutine baseline grows O(N×M) while the sharded dispatcher
+// stays O(shards). Historical numbers live in EXPERIMENTS.md.
+func BenchmarkNetsimFanout(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{8, 8}, {40, 40}} {
+		b.Run(fmt.Sprintf("%dx%d", size.n, size.m), func(b *testing.B) {
+			benchFanout(b, size.n, size.m)
+		})
+	}
+}
+
+func benchFanout(b *testing.B, senders, receivers int) {
+	net := New(clock.NewReal(), WithSeed(1),
+		WithDefaultProfile(Profile{Latency: Fixed(10 * time.Microsecond)}))
+	defer net.Close()
+
+	const perSender = 100
+	total := senders * receivers * perSender
+
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	froms := make([]Addr, senders)
+	tos := make([]Addr, receivers)
+	for i := range froms {
+		froms[i] = Addr(fmt.Sprintf("s%03d", i))
+		net.Register(froms[i], func(Message) {})
+	}
+	for i := range tos {
+		tos[i] = Addr(fmt.Sprintf("r%03d", i))
+		net.Register(tos[i], func(Message) {
+			if delivered.Add(1) == int64(total) {
+				done <- struct{}{}
+			}
+		})
+	}
+
+	payload := make([]byte, 16)
+	peak := runtime.NumGoroutine()
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-time.After(200 * time.Microsecond):
+				if g := runtime.NumGoroutine(); g > peak {
+					peak = g
+				}
+			}
+		}
+	}()
+
+	var memBefore, memAfter runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		delivered.Store(0)
+		var wg sync.WaitGroup
+		for _, from := range froms {
+			wg.Add(1)
+			go func(from Addr) {
+				defer wg.Done()
+				for k := 0; k < perSender; k++ {
+					for _, to := range tos {
+						if err := net.Send(from, to, "bench", payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			}(from)
+		}
+		wg.Wait()
+		select {
+		case <-done:
+		case <-time.After(time.Minute):
+			b.Fatalf("fanout stalled: %d of %d delivered", delivered.Load(), total)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	runtime.ReadMemStats(&memAfter)
+	close(stopSample)
+	sampleWG.Wait()
+
+	msgs := float64(total) * float64(b.N)
+	b.ReportMetric(msgs/elapsed.Seconds(), "msgs/sec")
+	b.ReportMetric(float64(memAfter.Mallocs-memBefore.Mallocs)/msgs, "allocs/msg")
+	b.ReportMetric(float64(peak), "peak-goroutines")
+}

@@ -13,6 +13,20 @@
 // dependence), and an optional loss rate plus partition switch used only by
 // tests exercising the reliability and membership layers.
 //
+// # Delivery scheduling
+//
+// Delivery is driven by a small fixed pool of dispatcher shards (default
+// GOMAXPROCS; see WithShards). Each link direction hashes to one shard,
+// which owns a min-heap of pending deliveries keyed on delivery deadline
+// and arms a single clock timer for the earliest one. Per-link FIFO is
+// enforced by clamping each message's deadline to be no earlier than its
+// link's previous message — the Order protocol in internal/core depends on
+// the leader→follower link never reordering. Steady-state goroutine count
+// is O(shards), not O(links), and the send path serializes only on the
+// target link's shard, so concurrent senders to different shards never
+// contend. BenchmarkNetsimFanout tracks both properties; EXPERIMENTS.md
+// records the numbers against the old per-link-goroutine scheduler.
+//
 // The substitution this package embodies is documented in DESIGN.md: the
 // paper ran on 16 Pentium III PCs on a 100 Mb LAN; we run the identical
 // protocol code paths in one process and recover the figures' *shapes*
@@ -22,8 +36,11 @@ package netsim
 import (
 	"errors"
 	"fmt"
+
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsnewtop/internal/clock"
@@ -41,8 +58,8 @@ type Message struct {
 }
 
 // Handler receives delivered messages. Handlers run on the delivering
-// link's goroutine: they must be quick and must not block on the network
-// (sending more messages is fine — sends never block).
+// shard's dispatcher goroutine: they must be quick and must not block on
+// the network (sending more messages is fine — sends never block).
 type Handler func(Message)
 
 // LatencyModel produces per-message propagation delays.
@@ -125,21 +142,50 @@ var ErrClosed = errors.New("netsim: network closed")
 
 type linkKey struct{ from, to Addr }
 
+// registry is the immutable control-plane snapshot: handlers, profiles and
+// partitions. The send path reads it with one atomic load; mutators
+// clone-and-swap under regMu. Control-plane changes (Register, Block, ...)
+// are rare next to Sends, so copy-on-write moves all their cost off the
+// hot path.
+type registry struct {
+	handlers map[Addr]Handler
+	profiles map[linkKey]Profile
+	blocked  map[linkKey]bool
+	def      Profile
+}
+
+func (r *registry) clone() *registry {
+	nr := &registry{
+		handlers: make(map[Addr]Handler, len(r.handlers)),
+		profiles: make(map[linkKey]Profile, len(r.profiles)),
+		blocked:  make(map[linkKey]bool, len(r.blocked)),
+		def:      r.def,
+	}
+	for k, v := range r.handlers {
+		nr.handlers[k] = v
+	}
+	for k, v := range r.profiles {
+		nr.profiles[k] = v
+	}
+	for k, v := range r.blocked {
+		nr.blocked[k] = v
+	}
+	return nr
+}
+
 // Network is an in-process network. It is safe for concurrent use.
 type Network struct {
 	clk clock.Clock
 
-	mu       sync.Mutex
-	handlers map[Addr]Handler
-	profiles map[linkKey]Profile
-	def      Profile
-	blocked  map[linkKey]bool
-	links    map[linkKey]*link
-	rng      *rand.Rand
-	stats    Stats
-	closed   bool
+	reg   atomic.Pointer[registry]
+	regMu sync.Mutex // serializes registry clone-and-swap
 
-	wg sync.WaitGroup
+	shards  []*shard
+	seed    int64
+	nshards int
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
 }
 
 // Option configures a Network.
@@ -147,238 +193,219 @@ type Option func(*Network)
 
 // WithDefaultProfile sets the profile used by links with no override.
 func WithDefaultProfile(p Profile) Option {
-	return func(n *Network) { n.def = p }
+	return func(n *Network) { n.reg.Load().def = p }
 }
 
 // WithSeed seeds the network's private randomness (latency jitter, loss).
+// Each dispatcher shard derives its own generator from this seed, so runs
+// with the same seed, shard count and per-shard send order are
+// reproducible.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.seed = seed }
+}
+
+// WithShards fixes the dispatcher shard count. Zero or negative selects
+// the default (GOMAXPROCS). Determinism tests use WithShards(1) to force a
+// single total delivery order.
+func WithShards(count int) Option {
+	return func(n *Network) { n.nshards = count }
 }
 
 // New creates a network driven by clk.
 func New(clk clock.Clock, opts ...Option) *Network {
 	n := &Network{
-		clk:      clk,
+		clk:  clk,
+		seed: 1,
+	}
+	n.reg.Store(&registry{
 		handlers: make(map[Addr]Handler),
 		profiles: make(map[linkKey]Profile),
 		blocked:  make(map[linkKey]bool),
-		links:    make(map[linkKey]*link),
-		rng:      rand.New(rand.NewSource(1)),
-	}
+	})
 	for _, o := range opts {
 		o(n)
 	}
+	if n.nshards <= 0 {
+		n.nshards = runtime.GOMAXPROCS(0)
+	}
+	n.shards = make([]*shard, n.nshards)
+	for i := range n.shards {
+		n.shards[i] = newShard(n, splitmix64(uint64(n.seed)+uint64(i)))
+	}
 	return n
+}
+
+// splitmix64 whitens shard seeds so that shard i and shard i+1 do not
+// start their generators on adjacent states.
+func splitmix64(x uint64) int64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return int64(x ^ (x >> 31))
+}
+
+// update applies f to a clone of the current registry and publishes it.
+func (n *Network) update(f func(*registry)) {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	nr := n.reg.Load().clone()
+	f(nr)
+	n.reg.Store(nr)
 }
 
 // Register attaches a handler at addr. Registering an address twice
 // replaces its handler (useful for tests that interpose wiretaps).
 func (n *Network) Register(addr Addr, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.handlers[addr] = h
+	n.update(func(r *registry) { r.handlers[addr] = h })
 }
 
 // Deregister removes an address. In-flight messages to it are dropped at
 // delivery time.
 func (n *Network) Deregister(addr Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.handlers, addr)
+	n.update(func(r *registry) { delete(r.handlers, addr) })
 }
 
 // SetLinkProfile overrides the profile for both directions between a and b.
 func (n *Network) SetLinkProfile(a, b Addr, p Profile) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.profiles[linkKey{a, b}] = p
-	n.profiles[linkKey{b, a}] = p
+	n.update(func(r *registry) {
+		r.profiles[linkKey{a, b}] = p
+		r.profiles[linkKey{b, a}] = p
+	})
 }
 
 // SetOneWayProfile overrides the profile for the a→b direction only.
 func (n *Network) SetOneWayProfile(a, b Addr, p Profile) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.profiles[linkKey{a, b}] = p
+	n.update(func(r *registry) { r.profiles[linkKey{a, b}] = p })
 }
 
 // Block partitions a from b in both directions.
 func (n *Network) Block(a, b Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.blocked[linkKey{a, b}] = true
-	n.blocked[linkKey{b, a}] = true
+	n.update(func(r *registry) {
+		r.blocked[linkKey{a, b}] = true
+		r.blocked[linkKey{b, a}] = true
+	})
 }
 
 // Unblock heals the partition between a and b.
 func (n *Network) Unblock(a, b Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.blocked, linkKey{a, b})
-	delete(n.blocked, linkKey{b, a})
+	n.update(func(r *registry) {
+		delete(r.blocked, linkKey{a, b})
+		delete(r.blocked, linkKey{b, a})
+	})
 }
 
 // Partition splits the given addresses into groups: traffic between
 // different groups is blocked, traffic within a group is unaffected.
 func (n *Network) Partition(groups ...[]Addr) {
-	for i, g1 := range groups {
-		for _, g2 := range groups[i+1:] {
-			for _, a := range g1 {
-				for _, b := range g2 {
-					n.Block(a, b)
+	n.update(func(r *registry) {
+		for i, g1 := range groups {
+			for _, g2 := range groups[i+1:] {
+				for _, a := range g1 {
+					for _, b := range g2 {
+						r.blocked[linkKey{a, b}] = true
+						r.blocked[linkKey{b, a}] = true
+					}
 				}
 			}
 		}
-	}
+	})
 }
 
-// Stats returns a snapshot of the network counters.
+// Stats returns a snapshot of the network counters, merged across shards.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	var s Stats
+	for _, sh := range n.shards {
+		s.Sent += sh.sent.Load()
+		s.Delivered += sh.delivered.Load()
+		s.Dropped += sh.dropped.Load()
+		s.Blocked += sh.blocked.Load()
+		s.Bytes += sh.bytes.Load()
+	}
+	return s
+}
+
+// shardFor hashes a link direction to its owning shard. All messages of
+// one (from, to) direction land on the same shard, which is what lets the
+// shard enforce per-link FIFO locally. The hash is FNV-1a, not maphash:
+// placement must be a pure function of the address pair so that seeded
+// runs shard (and therefore draw randomness and interleave) identically
+// across processes — a process-random hash seed would silently break the
+// reproducibility WithSeed promises.
+func (n *Network) shardFor(key linkKey) *shard {
+	if len(n.shards) == 1 {
+		return n.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.from); i++ {
+		h = (h ^ uint64(key.from[i])) * prime64
+	}
+	h = (h ^ 0) * prime64 // separator between the two names
+	for i := 0; i < len(key.to); i++ {
+		h = (h ^ uint64(key.to[i])) * prime64
+	}
+	return n.shards[h%uint64(len(n.shards))]
 }
 
 // Send schedules delivery of a message. It never blocks on delivery; the
-// link's FIFO worker delivers after the profile's delay. Sending to an
-// unknown destination is an error, so that mis-wired deployments fail loudly
-// rather than silently losing protocol traffic.
+// link's dispatcher shard delivers after the profile's delay, preserving
+// per-link send order. Sending to an unknown destination is an error, so
+// that mis-wired deployments fail loudly rather than silently losing
+// protocol traffic.
 func (n *Network) Send(from, to Addr, kind string, payload []byte) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return ErrClosed
 	}
-	if _, ok := n.handlers[to]; !ok {
-		n.mu.Unlock()
+	reg := n.reg.Load()
+	if _, ok := reg.handlers[to]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
 	}
 	key := linkKey{from, to}
-	n.stats.Sent++
-	n.stats.Bytes += uint64(len(payload))
-	if n.blocked[key] {
-		n.stats.Blocked++
-		n.mu.Unlock()
-		return nil
-	}
-	prof, ok := n.profiles[key]
-	if !ok {
-		prof = n.def
-	}
-	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
-		n.stats.Dropped++
-		n.mu.Unlock()
-		return nil
-	}
-	delay := prof.delayFor(len(payload), n.rng)
-	lk := n.links[key]
-	if lk == nil {
-		lk = newLink(n)
-		n.links[key] = lk
-		n.wg.Add(1)
-		go lk.run()
-	}
-	n.mu.Unlock()
+	sh := n.shardFor(key)
 
-	lk.enqueue(delivery{
-		msg:       Message{From: from, To: to, Kind: kind, Payload: payload},
-		deliverAt: n.clk.Now().Add(delay),
-	})
+	sh.sent.Add(1)
+	sh.bytes.Add(uint64(len(payload)))
+	// Guard the map lookups: most networks never partition links or
+	// override profiles, and skipping the hash matters on the hot path.
+	if len(reg.blocked) > 0 && reg.blocked[key] {
+		sh.blocked.Add(1)
+		return nil
+	}
+	prof := reg.def
+	if len(reg.profiles) > 0 {
+		if p, ok := reg.profiles[key]; ok {
+			prof = p
+		}
+	}
+
+	now := n.clk.Now().UnixNano()
+	sh.mu.Lock()
+	if n.closed.Load() {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	if prof.Loss > 0 && sh.rng.Float64() < prof.Loss {
+		sh.mu.Unlock()
+		sh.dropped.Add(1)
+		return nil
+	}
+	delay := prof.delayFor(len(payload), sh.rng)
+	wake := sh.scheduleLocked(key, Message{From: from, To: to, Kind: kind, Payload: payload}, now, delay)
+	sh.mu.Unlock()
+	if wake {
+		sh.wakeup()
+	}
 	return nil
 }
 
-// Close stops all link workers. Pending deliveries are abandoned.
+// Close stops all dispatcher shards. Pending deliveries are abandoned.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
+	n.closed.Store(true)
+	for _, sh := range n.shards {
+		sh.stop()
 	}
-	n.closed = true
-	for _, lk := range n.links {
-		lk.close()
-	}
-	n.mu.Unlock()
 	n.wg.Wait()
-}
-
-// deliver hands msg to its destination handler, if still registered.
-func (n *Network) deliver(msg Message) {
-	n.mu.Lock()
-	h := n.handlers[msg.To]
-	if h != nil {
-		n.stats.Delivered++
-	}
-	n.mu.Unlock()
-	if h != nil {
-		h(msg)
-	}
-}
-
-type delivery struct {
-	msg       Message
-	deliverAt time.Time
-}
-
-// link is a FIFO delivery worker for one (from, to) direction. FIFO
-// matters: the fail-signal Order protocol relies on the leader→follower
-// link not reordering (Section 2.2), and the asynchronous network is
-// modelled as per-pair FIFO like a TCP connection.
-type link struct {
-	net *Network
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []delivery
-	closed bool
-	done   chan struct{}
-}
-
-func newLink(n *Network) *link {
-	lk := &link{net: n, done: make(chan struct{})}
-	lk.cond = sync.NewCond(&lk.mu)
-	return lk
-}
-
-func (lk *link) enqueue(d delivery) {
-	lk.mu.Lock()
-	lk.queue = append(lk.queue, d)
-	lk.mu.Unlock()
-	lk.cond.Signal()
-}
-
-func (lk *link) close() {
-	lk.mu.Lock()
-	if !lk.closed {
-		lk.closed = true
-		close(lk.done)
-	}
-	lk.mu.Unlock()
-	lk.cond.Signal()
-}
-
-func (lk *link) run() {
-	defer lk.net.wg.Done()
-	for {
-		lk.mu.Lock()
-		for len(lk.queue) == 0 && !lk.closed {
-			lk.cond.Wait()
-		}
-		if lk.closed {
-			lk.mu.Unlock()
-			return
-		}
-		d := lk.queue[0]
-		lk.queue = lk.queue[1:]
-		lk.mu.Unlock()
-
-		if wait := d.deliverAt.Sub(lk.net.clk.Now()); wait > 0 {
-			select {
-			case <-lk.net.clk.After(wait):
-			case <-lk.done:
-				return
-			}
-		}
-		lk.net.deliver(d.msg)
-	}
 }

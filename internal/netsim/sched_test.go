@@ -1,0 +1,301 @@
+package netsim
+
+// Regression tests for the sharded event-queue dispatcher: the properties
+// the per-link-goroutine scheduler provided implicitly — per-link FIFO, no
+// goroutine residue after Close, reproducible delivery schedules — must
+// survive the rework, because the Order protocol in internal/core and the
+// seeded experiment harness in internal/bench depend on them.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+)
+
+// TestFIFOUnderConcurrentSenders hammers many links from concurrent
+// senders through profiles whose delays vary wildly per message, and
+// asserts every link's messages arrive in send order. Mixed delays are the
+// point: a later message drawing a shorter delay must still queue behind
+// its predecessor.
+func TestFIFOUnderConcurrentSenders(t *testing.T) {
+	n := New(clock.NewReal(), WithSeed(3),
+		WithDefaultProfile(Profile{Latency: Uniform{Min: 0, Max: 2 * time.Millisecond}}))
+	defer n.Close()
+
+	const senders, perSender = 12, 300
+	type rec struct {
+		mu   sync.Mutex
+		seqs map[Addr][]uint32
+	}
+	sink := &rec{seqs: make(map[Addr][]uint32)}
+	var delivered sync.WaitGroup
+	delivered.Add(senders * perSender)
+	n.Register("sink", func(m Message) {
+		sink.mu.Lock()
+		sink.seqs[m.From] = append(sink.seqs[m.From], binary.BigEndian.Uint32(m.Payload))
+		sink.mu.Unlock()
+		delivered.Done()
+	})
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		from := Addr(fmt.Sprintf("s%02d", s))
+		n.Register(from, func(Message) {})
+		wg.Add(1)
+		go func(from Addr) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				payload := make([]byte, 4)
+				binary.BigEndian.PutUint32(payload, uint32(i))
+				if err := n.Send(from, "sink", "seq", payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(from)
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { delivered.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for from, seqs := range sink.seqs {
+		if len(seqs) != perSender {
+			t.Fatalf("link %s delivered %d of %d", from, len(seqs), perSender)
+		}
+		for i, got := range seqs {
+			if got != uint32(i) {
+				t.Fatalf("link %s reordered: position %d carries seq %d", from, i, got)
+			}
+		}
+	}
+}
+
+// TestNoGoroutineLeakAfterClose spins up a network, pushes traffic over
+// many links (the old scheduler would spawn a goroutine per link here),
+// closes it, and checks the goroutine count returns to its starting
+// neighbourhood.
+func TestNoGoroutineLeakAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	n := New(clock.NewReal(), WithDefaultProfile(Profile{Latency: Fixed(time.Millisecond)}))
+	const nodes = 20
+	addrs := make([]Addr, nodes)
+	for i := range addrs {
+		addrs[i] = Addr(fmt.Sprintf("n%02d", i))
+		n.Register(addrs[i], func(Message) {})
+	}
+	for _, from := range addrs {
+		for _, to := range addrs {
+			if from == to {
+				continue
+			}
+			if err := n.Send(from, to, "x", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	n.Close()
+
+	// Give exiting dispatchers a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSteadyStateGoroutinesIndependentOfLinks is the O(links) → O(shards)
+// acceptance property: mid-traffic, a network with hundreds of active
+// links must run no more dispatcher goroutines than it has shards.
+func TestSteadyStateGoroutinesIndependentOfLinks(t *testing.T) {
+	const shards = 2
+	before := runtime.NumGoroutine()
+	n := New(clock.NewReal(), WithShards(shards),
+		WithDefaultProfile(Profile{Latency: Fixed(50 * time.Millisecond)}))
+	defer n.Close()
+
+	const nodes = 20 // 380 directed links
+	addrs := make([]Addr, nodes)
+	for i := range addrs {
+		addrs[i] = Addr(fmt.Sprintf("n%02d", i))
+		n.Register(addrs[i], func(Message) {})
+	}
+	for _, from := range addrs {
+		for _, to := range addrs {
+			if from != to {
+				if err := n.Send(from, to, "x", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// All 380 links now hold an undelivered message. The old scheduler
+	// would be running 380 workers at this point.
+	if g := runtime.NumGoroutine(); g > before+shards+2 {
+		t.Fatalf("goroutines mid-traffic: %d before, %d with %d links in flight (want <= before+%d)",
+			before, g, nodes*(nodes-1), shards+2)
+	}
+}
+
+// deliveryTrace runs a fixed single-goroutine workload over lossy, jittery
+// links and returns the exact delivery order observed at the sink. It uses
+// the manual clock so every send happens at the same virtual instant:
+// delivery order is then a pure function of the seeded jitter and loss
+// draws, with no wall-clock scheduling noise — replayable by construction.
+func deliveryTrace(t *testing.T, seed int64) []string {
+	t.Helper()
+	clk := clock.NewManual()
+	n := New(clk, WithSeed(seed), WithShards(1),
+		WithDefaultProfile(Profile{
+			Latency: Uniform{Min: 0, Max: time.Millisecond},
+			Loss:    0.1,
+		}))
+	defer n.Close()
+
+	var mu sync.Mutex
+	var got []string
+	n.Register("sink", func(m Message) {
+		mu.Lock()
+		got = append(got, fmt.Sprintf("%s/%d", m.From, binary.BigEndian.Uint32(m.Payload)))
+		mu.Unlock()
+	})
+	froms := []Addr{"a", "b", "c"}
+	for _, f := range froms {
+		n.Register(f, func(Message) {})
+	}
+	const per = 100
+	for i := 0; i < per; i++ {
+		for _, f := range froms {
+			payload := make([]byte, 4)
+			binary.BigEndian.PutUint32(payload, uint32(i))
+			if err := n.Send(f, "sink", "x", payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Loss makes exact counts seed-dependent; advance virtual time until
+	// the stats settle. Delivered is incremented just before the handler
+	// runs, so additionally wait for the trace itself to catch up —
+	// otherwise the final append can race the settle check.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := n.Stats()
+		mu.Lock()
+		traced := len(got)
+		mu.Unlock()
+		if s.Delivered+s.Dropped == s.Sent && uint64(traced) == s.Delivered {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries never settled: %+v (traced %d)", s, traced)
+		}
+		clk.Advance(time.Millisecond)
+		time.Sleep(100 * time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return got
+}
+
+// TestSeededDeterminism checks that a fixed seed reproduces the exact
+// delivery schedule — order, jitter draws and loss draws — and that a
+// different seed does not. Single-shard networks define a total delivery
+// order; this is what makes experiment runs replayable.
+func TestSeededDeterminism(t *testing.T) {
+	a := deliveryTrace(t, 42)
+	b := deliveryTrace(t, 42)
+	if len(a) == 0 {
+		t.Fatal("trace empty; loss model swallowed everything")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delivery %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := deliveryTrace(t, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules; RNG not wired to seed")
+	}
+}
+
+// TestShardedFIFOAcrossShardCounts re-runs a FIFO check at several shard
+// counts, since link→shard placement changes with the count.
+func TestShardedFIFOAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			n := New(clock.NewReal(), WithShards(shards),
+				WithDefaultProfile(Profile{Latency: Uniform{Min: 0, Max: 300 * time.Microsecond}}))
+			defer n.Close()
+			var mu sync.Mutex
+			seqs := map[Addr][]uint32{}
+			var wg sync.WaitGroup
+			const senders, per = 6, 120
+			wg.Add(senders * per)
+			n.Register("sink", func(m Message) {
+				mu.Lock()
+				seqs[m.From] = append(seqs[m.From], binary.BigEndian.Uint32(m.Payload))
+				mu.Unlock()
+				wg.Done()
+			})
+			for s := 0; s < senders; s++ {
+				from := Addr(fmt.Sprintf("s%d", s))
+				n.Register(from, func(Message) {})
+				go func(from Addr) {
+					for i := 0; i < per; i++ {
+						p := make([]byte, 4)
+						binary.BigEndian.PutUint32(p, uint32(i))
+						if err := n.Send(from, "sink", "x", p); err != nil {
+							t.Error(err)
+						}
+					}
+				}(from)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("timed out")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for from, got := range seqs {
+				for i, v := range got {
+					if v != uint32(i) {
+						t.Fatalf("shards=%d link %s reordered at %d: %d", shards, from, i, v)
+					}
+				}
+			}
+		})
+	}
+}
