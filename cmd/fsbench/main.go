@@ -55,6 +55,12 @@ func main() {
 		if *jsonDir == "" {
 			return
 		}
+		if *rsa {
+			// Crypto-fidelity runs get their own series file (e.g.
+			// BENCH_fig8_rsa.json) so they never overwrite the HMAC
+			// trajectory they are compared against.
+			figure += "_rsa"
+		}
 		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, rows))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s series: %v\n", figure, err)

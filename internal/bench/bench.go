@@ -151,6 +151,11 @@ type Result struct {
 	Delivered, Expected int
 	// NetMessages and NetBytes are fabric-level traffic totals.
 	NetMessages, NetBytes uint64
+	// SigCacheHits and SigCacheMisses are the FS deployment's
+	// verification-memo counters (zero for NewTOP, which signs nothing):
+	// hits are signature checks the double-signing discipline demanded
+	// that the memo answered without redoing the cryptography.
+	SigCacheHits, SigCacheMisses uint64
 }
 
 // encodeSeq writes the message sequence number into a payload of the
@@ -201,7 +206,7 @@ func Run(opts Options) (Result, error) {
 		}))
 	defer net.Close()
 
-	members, err := buildCluster(opts, net)
+	members, fab, err := buildCluster(opts, net)
 	if err != nil {
 		return Result{}, err
 	}
@@ -331,6 +336,10 @@ func Run(opts Options) (Result, error) {
 	stats := net.Stats()
 	res.NetMessages = stats.Sent
 	res.NetBytes = stats.Bytes
+	if fab != nil {
+		cs := fab.SigCacheStats()
+		res.SigCacheHits, res.SigCacheMisses = cs.Hits, cs.Misses
+	}
 	if timedOut {
 		failed := ""
 		for _, m := range members {
@@ -344,14 +353,16 @@ func Run(opts Options) (Result, error) {
 	return res, nil
 }
 
-// buildCluster deploys the middleware under test.
-func buildCluster(opts Options, net *netsim.Network) ([]*member, error) {
+// buildCluster deploys the middleware under test. The returned fabric is
+// non-nil only for FS-NewTOP, whose crypto-plane counters Run reports.
+func buildCluster(opts Options, net *netsim.Network) ([]*member, *fsnewtop.Fabric, error) {
 	names := make([]string, opts.Members)
 	for i := range names {
 		names[i] = fmt.Sprintf("m%02d", i)
 	}
 	members := make([]*member, 0, opts.Members)
 
+	var fab *fsnewtop.Fabric
 	switch opts.System {
 	case SystemNewTOP:
 		naming := orb.NewNaming()
@@ -373,13 +384,13 @@ func buildCluster(opts Options, net *netsim.Network) ([]*member, error) {
 				},
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			members = append(members, &member{name: name, svc: svc, sendTime: make(map[int]time.Time)})
 		}
 
 	case SystemFSNewTOP:
-		fab := fsnewtop.NewFabric(net, clock.NewReal())
+		fab = fsnewtop.NewFabric(net, clock.NewReal())
 		if opts.RSA {
 			fab.NewSigner = func(id sig.ID) (sig.Signer, error) {
 				return sig.NewRSASigner(id, sig.RSAKeySize, nil)
@@ -406,12 +417,12 @@ func buildCluster(opts Options, net *netsim.Network) ([]*member, error) {
 				},
 			})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			members = append(members, &member{name: name, svc: svc, sendTime: make(map[int]time.Time)})
 		}
 	default:
-		return nil, fmt.Errorf("bench: unknown system %v", opts.System)
+		return nil, nil, fmt.Errorf("bench: unknown system %v", opts.System)
 	}
-	return members, nil
+	return members, fab, nil
 }

@@ -60,7 +60,10 @@ func RunBFT(opts BFTOptions) (BFTResult, error) {
 		Latency: netsim.Fixed(opts.NetLatency),
 	}))
 	defer net.Close()
-	keys := sig.NewDirectory()
+	// Memo off: every PBFT phase message is a unique signed triple that
+	// each replica verifies exactly once, so memoisation would only add
+	// digest-and-probe overhead to the hot path.
+	keys := sig.NewDirectoryCache(0)
 
 	names := make([]string, n)
 	for i := range names {

@@ -287,26 +287,23 @@ func (r *Replica) broadcast(kind string, body []byte) {
 	}
 }
 
-// verifyAny checks the payload's signature against any registered
-// identity (clients included) and returns the signer and body.
-func (r *Replica) verifyAny(payload []byte) (string, []byte, bool) {
+// verify checks the payload's signature against the key directory and
+// additionally requires the signer to be a replica: protocol-phase
+// messages only count when they come from the replica set. No content
+// digest is computed here — every phase message is a unique (signer,
+// body, signature) triple that each node verifies exactly once, so
+// memoisation has nothing to offer this path; the win the signature
+// plane does deliver to broadcast is the cached envelope wire form (one
+// encoding shared by all n-1 sends).
+func (r *Replica) verify(payload []byte) (string, []byte, bool) {
 	env, err := sig.UnmarshalEnvelope(payload)
 	if err != nil || env.Verify(r.cfg.Keys) != nil {
 		return "", nil, false
 	}
-	return string(env.Signer), env.Body, true
-}
-
-// verify additionally requires the signer to be a replica: protocol-phase
-// messages only count when they come from the replica set.
-func (r *Replica) verify(payload []byte) (string, []byte, bool) {
-	signer, body, ok := r.verifyAny(payload)
-	if !ok {
-		return "", nil, false
-	}
+	signer := string(env.Signer)
 	for _, p := range r.cfg.Replicas {
 		if p == signer {
-			return signer, body, true
+			return signer, env.Body, true
 		}
 	}
 	return "", nil, false
@@ -332,15 +329,24 @@ func (r *Replica) onMessage(msg netsim.Message) {
 // onRequest handles a (signed) client request: the primary assigns a
 // sequence and pre-prepares; backups start the progress timer.
 func (r *Replica) onRequest(payload []byte) {
-	signer, body, ok := r.verifyAny(payload)
-	if !ok {
+	env, err := sig.UnmarshalEnvelope(payload)
+	if err != nil {
 		return
 	}
+	// The request digest doubles as the dedup key, so it is computed
+	// before verification and handed to the verifier (free when the
+	// verifier memoises, identical cost otherwise). Clients may sign, so
+	// no replica-set pinning here.
+	body := env.Body
+	digest := sig.Digest(body)
+	if env.VerifyDigest(r.cfg.Keys, digest) != nil {
+		return
+	}
+	signer := string(env.Signer)
 	req, err := UnmarshalRequest(body)
 	if err != nil || req.Client != signer {
 		return
 	}
-	digest := sig.Digest(body)
 	key := string(digest[:])
 
 	r.mu.Lock()

@@ -93,6 +93,11 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// Raw appends b verbatim, with no length prefix. It exists for callers
+// that splice an already-encoded message (a cached envelope wire form)
+// into a larger one without re-encoding it field by field.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
 // grow ensures capacity for n more bytes, reallocating at most once —
 // slice writers call it up front so a large slice costs one growth
 // instead of O(log n) incremental ones.
@@ -145,6 +150,21 @@ func (r *Reader) Err() error { return r.err }
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Pos returns the current read offset, for use with Since.
+func (r *Reader) Pos() int { return r.off }
+
+// Since returns the raw bytes consumed since start (a prior Pos result):
+// the exact wire form of whatever was decoded in between. The result is a
+// view aliasing the reader's buffer — valid as long as that buffer is
+// neither mutated nor recycled — and is nil if the reader has failed or
+// start is not a valid prior offset.
+func (r *Reader) Since(start int) []byte {
+	if r.err != nil || start < 0 || start > r.off {
+		return nil
+	}
+	return r.buf[start:r.off:r.off]
+}
 
 // Finish returns the sticky error, or an error if unread bytes remain.
 // Call it at the end of a complete-message decode.

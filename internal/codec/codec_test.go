@@ -260,3 +260,57 @@ func TestEncodingIsDeterministic(t *testing.T) {
 		t.Fatal("two encodings of equal values differ; fail-signal comparison would break")
 	}
 }
+
+// TestRawAndSince: splicing with Raw reproduces field encoding exactly,
+// and Since returns the precise byte window a decode consumed — the two
+// primitives the sig package's cached wire forms are built on.
+func TestRawAndSince(t *testing.T) {
+	inner := NewWriter(16)
+	inner.String("id")
+	inner.Bytes32([]byte("body"))
+	wire := inner.Bytes()
+
+	byFields := NewWriter(32)
+	byFields.U8(7)
+	byFields.String("id")
+	byFields.Bytes32([]byte("body"))
+	byFields.U64(42)
+
+	byRaw := NewWriter(32)
+	byRaw.U8(7)
+	byRaw.Raw(wire)
+	byRaw.U64(42)
+	if string(byRaw.Bytes()) != string(byFields.Bytes()) {
+		t.Fatal("Raw splice diverges from field-by-field encoding")
+	}
+
+	r := NewReader(byRaw.Bytes())
+	if r.U8() != 7 {
+		t.Fatal("tag")
+	}
+	start := r.Pos()
+	if r.String() != "id" || string(r.Bytes32()) != "body" {
+		t.Fatal("fields")
+	}
+	if got := r.Since(start); string(got) != string(wire) {
+		t.Fatalf("Since window = %q, want the inner wire form", got)
+	}
+	if r.U64() != 42 {
+		t.Fatal("trailer")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Since(-1) != nil || r.Since(len(byRaw.Bytes())+1) != nil {
+		t.Fatal("Since accepted an invalid window")
+	}
+
+	// A failed reader yields no window: a partial decode must not be
+	// mistaken for a wire form.
+	bad := NewReader(wire[:3])
+	s := bad.Pos()
+	_ = bad.String()
+	if bad.Since(s) != nil {
+		t.Fatal("Since returned a window from a failed reader")
+	}
+}

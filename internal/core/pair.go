@@ -31,6 +31,12 @@ type PairConfig struct {
 	// NewSigner builds a signer for a Compare identity. Nil selects
 	// HMAC-SHA256 with a key derived from the identity (test default).
 	NewSigner func(id sig.ID) (sig.Signer, error)
+	// NewVerifier, if set, builds each replica's inbound verifier; it is
+	// called once per replica, so a deployment can give every modeled
+	// node its own verification memo over the shared key material (see
+	// sig.CachedVerifier). Nil means both replicas verify directly
+	// against Keys.
+	NewVerifier func() sig.Verifier
 	// Delta, Kappa, Sigma, T1, T2, TickInterval: see ReplicaConfig.
 	Delta        time.Duration
 	Kappa, Sigma float64
@@ -152,6 +158,13 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	followerCfg.Signer = followerSigner
 	followerCfg.PeerFailEnv = envByLeader
 	followerCfg.Machine = cfg.NewMachine()
+
+	if cfg.NewVerifier != nil {
+		// One verifier per replica: the two FSOs are separate nodes, so
+		// their verification memos must not be shared.
+		leaderCfg.Verifier = cfg.NewVerifier()
+		followerCfg.Verifier = cfg.NewVerifier()
+	}
 
 	leader, err := NewReplica(leaderCfg)
 	if err != nil {

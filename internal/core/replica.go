@@ -119,6 +119,15 @@ type icmpEntry struct {
 	w      *watch
 }
 
+// ecmpEntry is an External Candidate Message Pool entry: a peer candidate
+// that arrived before the local machine produced the matching output. The
+// content digest computed for signature verification rides along so the
+// eventual comparison does not hash the body again.
+type ecmpEntry struct {
+	env    sig.Envelope
+	digest [32]byte
+}
+
 // irmpEntry is an Internal Received Message Pool entry (follower only):
 // one externally received input not yet ordered by the leader. cancel
 // covers the queued-for-relay stage (relayLoop selects on it); w covers
@@ -147,7 +156,7 @@ type Replica struct {
 	nextFwdIdx uint64 // follower: next expected order index
 	lastTick   time.Time
 	icmp       map[uint64]*icmpEntry
-	ecmp       map[uint64]sig.Envelope
+	ecmp       map[uint64]ecmpEntry
 	irmp       map[string]*irmpEntry
 	failed     bool
 	failDbl    sig.Double // cached double-signed fail-signal, set on failure
@@ -176,7 +185,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		stop:   make(chan struct{}),
 		seen:   make(map[string]struct{}),
 		icmp:   make(map[uint64]*icmpEntry),
-		ecmp:   make(map[uint64]sig.Envelope),
+		ecmp:   make(map[uint64]ecmpEntry),
 		irmp:   make(map[string]*irmpEntry),
 	}
 	r.wd.init(cfg.Clock, r.stop, &r.wg, r.watchFired)
@@ -588,9 +597,9 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 		return
 	}
 	r.stats.Outputs++
-	if peerEnv, ok := r.ecmp[seq]; ok {
+	if peer, ok := r.ecmp[seq]; ok {
 		delete(r.ecmp, seq)
-		match := sig.Digest(peerEnv.Body) == digest
+		match := peer.digest == digest
 		if match {
 			r.stats.Matched++
 		}
@@ -599,7 +608,7 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 			r.failSignal(fmt.Sprintf("output %d content mismatch", seq))
 			return
 		}
-		r.dispatchMatched(peerEnv, out.To)
+		r.dispatchMatched(peer.env, out.To)
 		return
 	}
 	e := &icmpEntry{digest: digest, dests: out.To}
@@ -636,7 +645,12 @@ func (r *Replica) onSingle(msg netsim.Message) {
 		r.failSignal(fmt.Sprintf("undecodable single from peer: %v", err))
 		return
 	}
-	if err := env.Verify(r.cfg.Verifier); err != nil {
+	// The candidate's content digest doubles as the comparison key below,
+	// so computing it first lets the verifier skip its own content hash
+	// (and its memo turn repeat verifications of this envelope into a
+	// single real check per directory).
+	digest := sig.Digest(env.Body)
+	if err := env.VerifyDigest(r.cfg.Verifier, digest); err != nil {
 		r.failSignal(fmt.Sprintf("peer single-signature invalid: %v", err))
 		return
 	}
@@ -654,7 +668,7 @@ func (r *Replica) onSingle(msg netsim.Message) {
 	if e, ok := r.icmp[body.Seq]; ok {
 		r.wd.cancel(e.w)
 		delete(r.icmp, body.Seq)
-		match := sig.Digest(env.Body) == e.digest
+		match := digest == e.digest
 		if match {
 			r.stats.Matched++
 		}
@@ -667,7 +681,7 @@ func (r *Replica) onSingle(msg netsim.Message) {
 		r.dispatchMatched(env, dests)
 		return
 	}
-	r.ecmp[body.Seq] = env
+	r.ecmp[body.Seq] = ecmpEntry{env: env, digest: digest}
 	overflow := len(r.ecmp) > maxECMP
 	r.mu.Unlock()
 	if overflow {

@@ -25,6 +25,7 @@ package fsnewtop
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"fsnewtop/internal/clock"
@@ -61,17 +62,76 @@ type Fabric struct {
 	// NewSigner builds signers for Compare threads and invocation layers.
 	// Nil selects HMAC (fast; for benchmarks isolating protocol cost).
 	NewSigner func(id sig.ID) (sig.Signer, error)
+
+	mu        sync.Mutex
+	verifiers []*sig.CachedVerifier
 }
 
-// NewFabric assembles a fabric over one network.
+// NewFabric assembles a fabric over one network. The shared key directory
+// is the deployment's verification plane: its copy-on-write snapshot makes
+// registration of new members safe against in-flight verifies. Its own
+// memo is disabled — every modeled node (each FSO, each invocation-layer
+// endpoint) gets a private sig.CachedVerifier instead, so memoisation
+// never crosses a node boundary the real deployment would have to pay:
+// the in-process figures stay faithful to the paper's per-node crypto
+// cost.
 func NewFabric(net *netsim.Network, clk clock.Clock) *Fabric {
 	return &Fabric{
 		Net:    net,
 		Naming: orb.NewNaming(),
 		Clock:  clk,
 		Dir:    failsignal.NewDirectory(),
-		Keys:   sig.NewDirectory(),
+		Keys:   sig.NewDirectoryCache(0),
 	}
+}
+
+// newVerifier builds one modeled node's verifier and tracks it for
+// SigCacheStats.
+func (f *Fabric) newVerifier() *sig.CachedVerifier {
+	v := sig.NewCachedVerifier(f.Keys, sig.DefaultCacheEntries)
+	f.mu.Lock()
+	f.verifiers = append(f.verifiers, v)
+	f.mu.Unlock()
+	return v
+}
+
+// dropVerifiers releases a closed member's verifiers so a long-lived
+// fabric with membership churn does not accumulate dead nodes' memos (or
+// keep counting them in SigCacheStats).
+func (f *Fabric) dropVerifiers(vs []*sig.CachedVerifier) {
+	drop := make(map[*sig.CachedVerifier]bool, len(vs))
+	for _, v := range vs {
+		drop[v] = true
+	}
+	f.mu.Lock()
+	kept := f.verifiers[:0]
+	for _, v := range f.verifiers {
+		if !drop[v] {
+			kept = append(kept, v)
+		}
+	}
+	for i := len(kept); i < len(f.verifiers); i++ {
+		f.verifiers[i] = nil
+	}
+	f.verifiers = kept
+	f.mu.Unlock()
+}
+
+// SigCacheStats sums the verification-memo counters across every live
+// node's verifier. Experiments use it to attribute FS overhead to crypto:
+// hits are signature checks a node did not have to re-pay (duplicate
+// copies of an input arriving via the direct, forward, and relay paths).
+func (f *Fabric) SigCacheStats() sig.CacheStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total sig.CacheStats
+	for _, v := range f.verifiers {
+		cs := v.CacheStats()
+		total.Hits += cs.Hits
+		total.Misses += cs.Misses
+		total.Evictions += cs.Evictions
+	}
+	return total
 }
 
 // Config configures one FS-NewTOP member.
@@ -105,9 +165,11 @@ type Config struct {
 // NSO — which is the point.
 type NSO struct {
 	name       string
+	fab        *Fabric
 	orb        *orb.ORB
 	pair       *failsignal.Pair
 	client     *failsignal.Client
+	verifiers  []*sig.CachedVerifier // this member's node memos, released on Close
 	deliveries chan newtop.Delivery
 	views      chan newtop.View
 	failures   chan string
@@ -144,16 +206,31 @@ func New(cfg Config) (*NSO, error) {
 
 	n := &NSO{
 		name:       cfg.Name,
+		fab:        fab,
 		deliveries: make(chan newtop.Delivery, 8192),
 		views:      make(chan newtop.View, 1024),
 		failures:   make(chan string, 64),
 	}
+	newVerifier := func() *sig.CachedVerifier {
+		v := fab.newVerifier()
+		n.verifiers = append(n.verifiers, v)
+		return v
+	}
+	// Any failure below must release the verifiers already registered, or
+	// a long-lived fabric would retain them (and their stats) forever.
+	built := false
+	defer func() {
+		if !built {
+			fab.dropVerifiers(n.verifiers)
+		}
+	}()
 
 	// Invocation-layer endpoint: a plain process in the FS directory that
 	// receives the pair's double-signed outputs.
 	inv := invName(cfg.Name)
 	invAddr := netsim.Addr("addr:" + inv)
-	receiver := failsignal.NewReceiver(fab.Dir, fab.Keys, n.onOutput, n.onFailSignal)
+	// The invocation layer runs on the application node: its own memo.
+	receiver := failsignal.NewReceiver(fab.Dir, newVerifier(), n.onOutput, n.onFailSignal)
 	fab.Net.Register(invAddr, receiver.Handle)
 	fab.Dir.RegisterPlain(inv, invAddr)
 
@@ -180,6 +257,7 @@ func New(cfg Config) (*NSO, error) {
 		Dir:          fab.Dir,
 		Keys:         fab.Keys,
 		NewSigner:    newSigner,
+		NewVerifier:  func() sig.Verifier { return newVerifier() },
 		Delta:        cfg.Delta,
 		Kappa:        cfg.Kappa,
 		Sigma:        cfg.Sigma,
@@ -221,6 +299,7 @@ func New(cfg Config) (*NSO, error) {
 		}
 	})
 	n.orb = o
+	built = true
 	return n, nil
 }
 
@@ -280,4 +359,5 @@ func (n *NSO) Pair() *failsignal.Pair { return n.pair }
 func (n *NSO) Close() {
 	n.orb.Close()
 	n.pair.Close()
+	n.fab.dropVerifiers(n.verifiers)
 }

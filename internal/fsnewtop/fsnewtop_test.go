@@ -172,6 +172,33 @@ func TestFSNewTOPSymmetricTotalOrder(t *testing.T) {
 	}
 }
 
+// TestFSNewTOPVerificationMemo: in a running cluster each node's memo
+// absorbs the duplicate verifications the FS discipline creates inside
+// one node — the same input arrives at a follower both directly and on
+// the leader's forward link, and fail-signal duplicates fan in from every
+// watcher path. Memos are per modeled node (see Fabric.newVerifier), so
+// the hits measured here are ones a real deployment would also get.
+func TestFSNewTOPVerificationMemo(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	c.joinAll(t, "g")
+	const per = 5
+	for i := 0; i < per; i++ {
+		for _, m := range c.members {
+			if err := c.nsos[m].Multicast("g", group.TotalSym, []byte(fmt.Sprintf("%s#%d", m, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := per * len(c.members)
+	for _, m := range c.members {
+		c.cols[m].waitN(t, total, 30*time.Second)
+	}
+	cs := c.fab.SigCacheStats()
+	if cs.Hits == 0 {
+		t.Fatalf("no memo hits after a %d-delivery run: %+v", total*len(c.members), cs)
+	}
+}
+
 func TestFSNewTOPAllServices(t *testing.T) {
 	c := newCluster(t, 2, nil)
 	c.joinAll(t, "g")

@@ -1,0 +1,188 @@
+package sig
+
+import (
+	"crypto/subtle"
+	"sync"
+	"sync/atomic"
+)
+
+// The verification memo cache makes the broadcast pattern of the FS output
+// path cheap: one double-signed output reaches every group member, and
+// under one in-process fabric each receiving replica re-verifies the same
+// two (signer, content, signature) triples. Memoising successful verifies
+// by content digest collapses that fan-in to one real signature check per
+// triple per directory — which is what makes the paper's MD5-with-RSA
+// fidelity mode affordable in figure sweeps.
+//
+// Only successes are cached: a failed verification is never remembered
+// (so a bad signature can never be laundered into a good one by a cache
+// slot), and every entry records the identity's registration epoch it was
+// proven under, so rotating an identity's key invalidates exactly that
+// identity's entries — registering new members leaves the rest of the
+// memo warm.
+
+// DefaultCacheEntries bounds the verification memo of a directory built by
+// NewDirectory (and of a zero-value Directory). Entries are ~100 bytes, so
+// the default is a few hundred kilobytes per directory.
+const DefaultCacheEntries = 8192
+
+// cacheShardCount must be a power of two. Shards are selected by a digest
+// byte, so uniformly distributed keys spread evenly.
+const cacheShardCount = 16
+
+// cacheKey identifies one verified triple; the signature bytes themselves
+// are compared on lookup rather than hashed into the key.
+type cacheKey struct {
+	id     ID
+	digest [32]byte
+}
+
+type cacheEntry struct {
+	key        cacheKey
+	sig        []byte
+	epoch      uint64
+	prev, next int32
+}
+
+// cacheShard is one lock domain: a map index over an entry arena threaded
+// into an intrusive LRU list. Slots are reused on eviction, so a warm
+// shard performs no allocations beyond signature-copy refreshes.
+type cacheShard struct {
+	mu         sync.Mutex
+	idx        map[cacheKey]int32
+	ents       []cacheEntry
+	head, tail int32 // most / least recently used; -1 when empty
+	cap        int
+}
+
+// verifyCache is the sharded bounded LRU memo.
+type verifyCache struct {
+	shards                  [cacheShardCount]cacheShard
+	hits, misses, evictions atomic.Uint64
+}
+
+// CacheStats reports verification-memo counters; see Directory.CacheStats.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+func newVerifyCache(capacity int) *verifyCache {
+	per := (capacity + cacheShardCount - 1) / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &verifyCache{}
+	for i := range c.shards {
+		// No map size hint: deployments build one memo per modeled node,
+		// most of which stay small, and the entry arena grows lazily too —
+		// a cold verifier should cost near nothing.
+		c.shards[i] = cacheShard{
+			idx:  make(map[cacheKey]int32),
+			cap:  per,
+			head: -1,
+			tail: -1,
+		}
+	}
+	return c
+}
+
+func (c *verifyCache) shard(digest *[32]byte) *cacheShard {
+	return &c.shards[digest[0]&(cacheShardCount-1)]
+}
+
+// hit reports whether (id, digest, sig) was verified successfully under
+// epoch. A stale-epoch or different-signature entry is a miss; the entry
+// stays until a successful re-verify overwrites it or the LRU evicts it.
+func (c *verifyCache) hit(epoch uint64, id ID, digest [32]byte, sig []byte) bool {
+	s := c.shard(&digest)
+	s.mu.Lock()
+	if i, ok := s.idx[cacheKey{id: id, digest: digest}]; ok {
+		e := &s.ents[i]
+		// Constant-time compare: the entry holds a known-valid signature,
+		// so an early-exit compare would leak a prefix-matching oracle to
+		// anyone probing candidate signatures for a cached triple.
+		if e.epoch == epoch && subtle.ConstantTimeCompare(e.sig, sig) == 1 {
+			s.moveToFront(i)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return true
+		}
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return false
+}
+
+// put records a successful verification of (id, digest, sig) under epoch.
+func (c *verifyCache) put(epoch uint64, id ID, digest [32]byte, sig []byte) {
+	key := cacheKey{id: id, digest: digest}
+	s := c.shard(&digest)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.idx[key]; ok {
+		e := &s.ents[i]
+		e.epoch = epoch
+		e.sig = append(e.sig[:0], sig...)
+		s.moveToFront(i)
+		return
+	}
+	var i int32
+	if len(s.ents) < s.cap {
+		s.ents = append(s.ents, cacheEntry{})
+		i = int32(len(s.ents) - 1)
+	} else {
+		i = s.tail
+		s.unlink(i)
+		delete(s.idx, s.ents[i].key)
+		c.evictions.Add(1)
+	}
+	e := &s.ents[i]
+	e.key = key
+	e.epoch = epoch
+	e.sig = append(e.sig[:0], sig...)
+	s.idx[key] = i
+	s.pushFront(i)
+}
+
+func (c *verifyCache) stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+func (s *cacheShard) pushFront(i int32) {
+	e := &s.ents[i]
+	e.prev = -1
+	e.next = s.head
+	if s.head >= 0 {
+		s.ents[s.head].prev = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
+}
+
+func (s *cacheShard) unlink(i int32) {
+	e := &s.ents[i]
+	if e.prev >= 0 {
+		s.ents[e.prev].next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next >= 0 {
+		s.ents[e.next].prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+}
+
+func (s *cacheShard) moveToFront(i int32) {
+	if s.head == i {
+		return
+	}
+	s.unlink(i)
+	s.pushFront(i)
+}

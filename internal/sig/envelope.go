@@ -3,18 +3,37 @@ package sig
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"fsnewtop/internal/codec"
 )
+
+// wireEncodes counts the slow-path wire encodings of envelopes and double
+// envelopes. The cached-wire design promises at most one encoding per
+// signing operation and none per verification; the regression tests fence
+// that promise with this counter.
+var wireEncodes atomic.Uint64
+
+// WireEncodes returns the number of slow-path (non-cached) envelope wire
+// encodings performed so far. Test instrumentation.
+func WireEncodes() uint64 { return wireEncodes.Load() }
 
 // Envelope is a single-signed message: the first half of the paper's
 // double-signing discipline. A Compare thread signs each locally produced
 // output and forwards the envelope to its remote counterpart
 // (receiveSingle in Appendix A).
+//
+// An envelope produced by SignEnvelope or a Decode/Unmarshal function
+// carries its wire form, so Marshal and Encode splice cached bytes instead
+// of re-encoding — and CounterSign signs exactly the bytes that were (or
+// will be) on the wire. The cached form is invalidated by nothing: treat a
+// signed envelope as immutable, as every protocol path does.
 type Envelope struct {
 	Signer ID
 	Body   []byte
 	Sig    []byte
+
+	wire []byte // cached Marshal output; nil if never marshaled
 }
 
 // SignEnvelope signs body as s's identity.
@@ -23,7 +42,9 @@ func SignEnvelope(s Signer, body []byte) (Envelope, error) {
 	if err != nil {
 		return Envelope{}, err
 	}
-	return Envelope{Signer: s.ID(), Body: body, Sig: sigBytes}, nil
+	e := Envelope{Signer: s.ID(), Body: body, Sig: sigBytes}
+	e.wire = e.encodeSlow()
+	return e, nil
 }
 
 // Verify checks the envelope's signature.
@@ -31,27 +52,65 @@ func (e Envelope) Verify(v Verifier) error {
 	return v.Verify(e.Signer, e.Body, e.Sig)
 }
 
+// VerifyDigest checks the envelope's signature using a caller-precomputed
+// digest = Digest(e.Body), exploiting the verifier's memo when it has one.
+// The FS compare path computes that digest for output matching anyway, so
+// the verify side gets it for free.
+func (e Envelope) VerifyDigest(v Verifier, digest [32]byte) error {
+	if dv, ok := v.(DigestVerifier); ok {
+		return dv.VerifyDigest(e.Signer, digest, e.Body, e.Sig)
+	}
+	return v.Verify(e.Signer, e.Body, e.Sig)
+}
+
 // Encode appends the envelope's wire form to w.
 func (e Envelope) Encode(w *codec.Writer) {
+	if e.wire != nil {
+		w.Raw(e.wire)
+		return
+	}
+	e.encodeInto(w)
+}
+
+func (e Envelope) encodeInto(w *codec.Writer) {
+	wireEncodes.Add(1)
 	w.String(string(e.Signer))
 	w.Bytes32(e.Body)
 	w.Bytes32(e.Sig)
 }
 
-// Marshal returns the envelope's wire form.
-func (e Envelope) Marshal() []byte {
+func (e Envelope) encodeSlow() []byte {
 	w := codec.NewWriter(len(e.Body) + len(e.Sig) + len(e.Signer) + 16)
-	e.Encode(w)
-	return w.Bytes()
+	e.encodeInto(w)
+	b := w.Bytes()
+	// Clip: the result is cached and shared, so an append by any holder
+	// must reallocate rather than write into the shared backing array.
+	return b[:len(b):len(b)]
 }
 
-// DecodeEnvelope reads an envelope written by Encode.
+// Marshal returns the envelope's wire form. For a signed or decoded
+// envelope this is a cached slice shared with every other caller — it must
+// not be modified.
+func (e Envelope) Marshal() []byte {
+	if e.wire != nil {
+		return e.wire
+	}
+	return e.encodeSlow()
+}
+
+// DecodeEnvelope reads an envelope written by Encode. The decoded envelope
+// caches the exact bytes consumed as its wire form (a view aliasing the
+// reader's buffer), so re-marshaling — e.g. to check a counter-signature —
+// is free and byte-identical to what the sender signed.
 func DecodeEnvelope(r *codec.Reader) Envelope {
-	return Envelope{
+	start := r.Pos()
+	e := Envelope{
 		Signer: ID(r.String()),
 		Body:   r.Bytes32(),
 		Sig:    r.Bytes32(),
 	}
+	e.wire = r.Since(start)
+	return e
 }
 
 // UnmarshalEnvelope parses a complete envelope from b.
@@ -74,15 +133,22 @@ type Double struct {
 	Envelope     // the single-signed inner message
 	Second    ID // the counter-signer
 	SecondSig []byte
+
+	dblWire []byte // cached Marshal output of the double envelope
 }
 
-// CounterSign adds s's signature over the single-signed envelope e.
+// CounterSign adds s's signature over the single-signed envelope e. The
+// signature covers e's cached wire form when e was signed or decoded by
+// this package, so no re-marshal happens; the double's own wire form is
+// built once, eagerly, because every counter-signed output is sent.
 func CounterSign(s Signer, e Envelope) (Double, error) {
 	second, err := s.Sign(e.Marshal())
 	if err != nil {
 		return Double{}, err
 	}
-	return Double{Envelope: e, Second: s.ID(), SecondSig: second}, nil
+	d := Double{Envelope: e, Second: s.ID(), SecondSig: second}
+	d.dblWire = d.encodeSlow()
+	return d, nil
 }
 
 // ErrSamePair is returned when a double signature's two signers are the
@@ -113,25 +179,48 @@ func (d Double) SignedBy(a, b ID) bool {
 
 // Encode appends the double envelope's wire form to w.
 func (d Double) Encode(w *codec.Writer) {
+	if d.dblWire != nil {
+		w.Raw(d.dblWire)
+		return
+	}
+	d.encodeDoubleInto(w)
+}
+
+func (d Double) encodeDoubleInto(w *codec.Writer) {
+	wireEncodes.Add(1)
 	d.Envelope.Encode(w)
 	w.String(string(d.Second))
 	w.Bytes32(d.SecondSig)
 }
 
-// Marshal returns the double envelope's wire form.
-func (d Double) Marshal() []byte {
+func (d Double) encodeSlow() []byte {
 	w := codec.NewWriter(len(d.Body) + len(d.Sig) + len(d.SecondSig) + 32)
-	d.Encode(w)
-	return w.Bytes()
+	d.encodeDoubleInto(w)
+	b := w.Bytes()
+	return b[:len(b):len(b)] // clipped: cached and shared, see Envelope
 }
 
-// DecodeDouble reads a double envelope written by Encode.
+// Marshal returns the double envelope's wire form. For a counter-signed or
+// decoded double this is a cached slice shared with every other caller —
+// it must not be modified.
+func (d Double) Marshal() []byte {
+	if d.dblWire != nil {
+		return d.dblWire
+	}
+	return d.encodeSlow()
+}
+
+// DecodeDouble reads a double envelope written by Encode, caching both the
+// inner envelope's and the double's wire forms from the consumed bytes.
 func DecodeDouble(r *codec.Reader) Double {
-	return Double{
+	start := r.Pos()
+	d := Double{
 		Envelope:  DecodeEnvelope(r),
 		Second:    ID(r.String()),
 		SecondSig: r.Bytes32(),
 	}
+	d.dblWire = r.Since(start)
+	return d
 }
 
 // UnmarshalDouble parses a complete double envelope from b.

@@ -1,0 +1,98 @@
+package sig
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// hmacTemplate is the precomputed HMAC-SHA256 key schedule for one key: the
+// marshaled SHA-256 states left after absorbing the ipad and opad blocks.
+// hmac.New pays the key normalisation, two pad XOR passes and two block
+// compressions on every call; restoring a digest from a marshaled state
+// replays none of that, so the per-message cost drops to hashing the
+// message itself. The template also pools its digest pairs, making the
+// steady-state mac/verify path allocation-free.
+type hmacTemplate struct {
+	innerState, outerState []byte
+	pool                   sync.Pool // of *hmacRunner
+}
+
+// hmacRunner is one reusable digest pair plus the inner-sum scratch buffer.
+type hmacRunner struct {
+	inner, outer   hash.Hash
+	innerU, outerU encoding.BinaryUnmarshaler
+	sum            [sha256.Size]byte
+}
+
+func newHMACTemplate(key []byte) *hmacTemplate {
+	if len(key) > sha256.BlockSize {
+		k := sha256.Sum256(key)
+		key = k[:]
+	}
+	var ipad, opad [sha256.BlockSize]byte
+	copy(ipad[:], key)
+	copy(opad[:], key)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
+	}
+	in, out := sha256.New(), sha256.New()
+	in.Write(ipad[:])
+	out.Write(opad[:])
+	innerState, errIn := in.(encoding.BinaryMarshaler).MarshalBinary()
+	outerState, errOut := out.(encoding.BinaryMarshaler).MarshalBinary()
+	if errIn != nil || errOut != nil {
+		// sha256's digest has implemented BinaryMarshaler since Go 1.8 and
+		// marshaling a fresh digest cannot fail; this is unreachable.
+		panic(fmt.Sprintf("sig: marshaling SHA-256 pad state: %v, %v", errIn, errOut))
+	}
+	t := &hmacTemplate{innerState: innerState, outerState: outerState}
+	t.pool.New = func() any {
+		r := &hmacRunner{inner: sha256.New(), outer: sha256.New()}
+		r.innerU = r.inner.(encoding.BinaryUnmarshaler)
+		r.outerU = r.outer.(encoding.BinaryUnmarshaler)
+		return r
+	}
+	return t
+}
+
+// get returns a runner with both digests restored to the pad states.
+func (t *hmacTemplate) get() *hmacRunner {
+	r := t.pool.Get().(*hmacRunner)
+	if err := r.innerU.UnmarshalBinary(t.innerState); err != nil {
+		panic(fmt.Sprintf("sig: restoring HMAC inner state: %v", err))
+	}
+	if err := r.outerU.UnmarshalBinary(t.outerState); err != nil {
+		panic(fmt.Sprintf("sig: restoring HMAC outer state: %v", err))
+	}
+	return r
+}
+
+// appendMAC appends the HMAC-SHA256 of data to dst and returns the
+// extended slice. It allocates only if dst lacks capacity.
+func (t *hmacTemplate) appendMAC(dst, data []byte) []byte {
+	r := t.get()
+	r.inner.Write(data)
+	s := r.inner.Sum(r.sum[:0])
+	r.outer.Write(s)
+	dst = r.outer.Sum(dst)
+	t.pool.Put(r)
+	return dst
+}
+
+// verify reports whether mac is the HMAC-SHA256 of data. It performs no
+// allocations.
+func (t *hmacTemplate) verify(data, mac []byte) bool {
+	r := t.get()
+	r.inner.Write(data)
+	s := r.inner.Sum(r.sum[:0])
+	r.outer.Write(s) // Write copies s, so r.sum is free for reuse below
+	got := r.outer.Sum(r.sum[:0])
+	ok := hmac.Equal(got, mac)
+	t.pool.Put(r)
+	return ok
+}

@@ -15,11 +15,20 @@
 //
 // Both schemes implement the same Signer/Verifier interfaces, so every
 // protocol component is parameterised over the scheme.
+//
+// The package is the hottest part of the FS output path — every output is
+// double-signed and every receiver re-verifies both signatures — so it is
+// built as a verification plane rather than a convenience wrapper: the
+// Directory's verify path is lock-free over a copy-on-write snapshot and
+// memoises successful checks by content digest (see directory.go and
+// cache.go), HMAC signing restores precomputed pad states from a pool
+// instead of rebuilding the transform per message (hmac.go), and
+// envelopes carry their wire form so counter-signing and verification
+// never re-marshal (envelope.go).
 package sig
 
 import (
 	"crypto"
-	"crypto/hmac"
 	"crypto/md5"
 	"crypto/rand"
 	"crypto/rsa"
@@ -27,7 +36,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 )
 
@@ -64,6 +72,17 @@ var ErrBadSignature = errors.New("sig: signature verification failed")
 // dominating the benchmarks.
 const RSAKeySize = 1024
 
+// md5Buf is a pooled MD5 digest buffer: the digest slice handed to the
+// rsa package escapes, so without pooling every RSA sign/verify heap-
+// allocates its 16-byte digest.
+type md5Buf struct {
+	b [md5.Size]byte
+}
+
+func (m *md5Buf) sum(data []byte) { m.b = md5.Sum(data) }
+
+var md5BufPool = sync.Pool{New: func() any { return new(md5Buf) }}
+
 // RSASigner signs with an RSA private key over an MD5 digest.
 type RSASigner struct {
 	id   ID
@@ -95,8 +114,10 @@ func (s *RSASigner) Public() *rsa.PublicKey { return &s.priv.PublicKey }
 
 // Sign implements Signer: MD5 digest, then PKCS#1 v1.5.
 func (s *RSASigner) Sign(data []byte) ([]byte, error) {
-	digest := md5.Sum(data)
-	sigBytes, err := rsa.SignPKCS1v15(nil, s.priv, crypto.MD5, digest[:])
+	digest := md5BufPool.Get().(*md5Buf)
+	digest.sum(data)
+	sigBytes, err := rsa.SignPKCS1v15(nil, s.priv, crypto.MD5, digest.b[:])
+	md5BufPool.Put(digest)
 	if err != nil {
 		return nil, fmt.Errorf("sig: RSA signing as %q: %w", s.id, err)
 	}
@@ -109,124 +130,35 @@ func (s *RSASigner) Sign(data []byte) ([]byte, error) {
 // must verify the identity share the key via the Directory; this models a
 // trusted-key-distribution variant of A5 and is orders of magnitude faster
 // than RSA, which keeps large unit-test suites quick.
+//
+// The signer precomputes its HMAC pad states once at construction and
+// pools the per-message digest pair, so AppendSign into a buffer with
+// capacity performs no allocations. The raw key is not retained: the pad
+// states are all signing and registration (RegisterSigner shares the
+// template) ever need.
 type HMACSigner struct {
-	id  ID
-	key []byte
+	id   ID
+	tmpl *hmacTemplate
 }
 
 // NewHMACSigner returns a signer for id with the given symmetric key.
 func NewHMACSigner(id ID, key []byte) *HMACSigner {
-	k := make([]byte, len(key))
-	copy(k, key)
-	return &HMACSigner{id: id, key: k}
+	return &HMACSigner{id: id, tmpl: newHMACTemplate(key)}
 }
 
 // ID implements Signer.
 func (s *HMACSigner) ID() ID { return s.id }
 
-// Key returns a copy of the symmetric key, for registration in a Directory.
-func (s *HMACSigner) Key() []byte {
-	k := make([]byte, len(s.key))
-	copy(k, s.key)
-	return k
-}
-
 // Sign implements Signer.
 func (s *HMACSigner) Sign(data []byte) ([]byte, error) {
-	mac := hmac.New(sha256.New, s.key)
-	mac.Write(data)
-	return mac.Sum(nil), nil
+	return s.tmpl.appendMAC(make([]byte, 0, sha256.Size), data), nil
 }
 
-// --- Directory: the verification-material registry ---
-
-// Directory maps identities to their verification material and implements
-// Verifier for both schemes. It is safe for concurrent use. The zero value
-// is ready to use.
-type Directory struct {
-	mu   sync.RWMutex
-	rsa  map[ID]*rsa.PublicKey
-	hmac map[ID][]byte
-}
-
-// NewDirectory returns an empty directory.
-func NewDirectory() *Directory { return &Directory{} }
-
-// RegisterRSA records the public key used to verify id's signatures.
-func (d *Directory) RegisterRSA(id ID, pub *rsa.PublicKey) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.rsa == nil {
-		d.rsa = make(map[ID]*rsa.PublicKey)
-	}
-	d.rsa[id] = pub
-}
-
-// RegisterHMAC records the shared key used to verify id's signatures.
-func (d *Directory) RegisterHMAC(id ID, key []byte) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.hmac == nil {
-		d.hmac = make(map[ID][]byte)
-	}
-	k := make([]byte, len(key))
-	copy(k, key)
-	d.hmac[id] = k
-}
-
-// RegisterSigner registers the verification material for any signer type
-// produced by this package.
-func (d *Directory) RegisterSigner(s Signer) error {
-	switch s := s.(type) {
-	case *RSASigner:
-		d.RegisterRSA(s.ID(), s.Public())
-	case *HMACSigner:
-		d.RegisterHMAC(s.ID(), s.Key())
-	default:
-		return fmt.Errorf("sig: cannot extract verification material from %T", s)
-	}
-	return nil
-}
-
-// IDs returns all registered identities in sorted order.
-func (d *Directory) IDs() []ID {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]ID, 0, len(d.rsa)+len(d.hmac))
-	for id := range d.rsa {
-		out = append(out, id)
-	}
-	for id := range d.hmac {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Verify implements Verifier.
-func (d *Directory) Verify(id ID, data, sigBytes []byte) error {
-	d.mu.RLock()
-	pub := d.rsa[id]
-	key := d.hmac[id]
-	d.mu.RUnlock()
-
-	switch {
-	case pub != nil:
-		digest := md5.Sum(data)
-		if err := rsa.VerifyPKCS1v15(pub, crypto.MD5, digest[:], sigBytes); err != nil {
-			return fmt.Errorf("%w: RSA check for %q", ErrBadSignature, id)
-		}
-		return nil
-	case key != nil:
-		mac := hmac.New(sha256.New, key)
-		mac.Write(data)
-		if !hmac.Equal(mac.Sum(nil), sigBytes) {
-			return fmt.Errorf("%w: HMAC check for %q", ErrBadSignature, id)
-		}
-		return nil
-	default:
-		return fmt.Errorf("%w: %q", ErrUnknownSigner, id)
-	}
+// AppendSign appends the signature over data to dst and returns the
+// extended slice. With sha256.Size spare capacity in dst it performs no
+// allocations; it never fails for this scheme.
+func (s *HMACSigner) AppendSign(dst, data []byte) ([]byte, error) {
+	return s.tmpl.appendMAC(dst, data), nil
 }
 
 // Digest returns the content digest used to compare replica outputs and to
