@@ -1,8 +1,9 @@
 // Package bench is the experiment harness for the paper's evaluation
-// (Section 4): it deploys NewTOP or FS-NewTOP clusters over the netsim
-// fabric, drives the paper's workload — every member multicasts a fixed
-// number of messages for symmetric total ordering at a regular interval —
-// and measures ordering latency and throughput.
+// (Section 4): it deploys NewTOP or FS-NewTOP clusters over the transport
+// plane — the seeded netsim simulator by default, real TCP sockets with
+// Options.Transport = "tcp" — drives the paper's workload — every member
+// multicasts a fixed number of messages for symmetric total ordering at a
+// regular interval — and measures ordering latency and throughput.
 //
 // Three experiment drivers regenerate the figures:
 //
@@ -25,10 +26,12 @@ import (
 	"fsnewtop/internal/fsnewtop"
 	"fsnewtop/internal/group"
 	"fsnewtop/internal/metrics"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/newtop"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
+	"fsnewtop/transport/netsim"
+	"fsnewtop/transport/tcpnet"
 )
 
 // System selects the middleware under test.
@@ -84,6 +87,13 @@ type Options struct {
 	// RSA selects MD5-with-RSA signing for FS pairs (the paper's scheme)
 	// instead of fast HMAC.
 	RSA bool
+	// Transport selects the network substrate: "netsim" (default, the
+	// seeded in-process simulator) or "tcp" (real loopback TCP sockets
+	// via transport/tcpnet). Latency/bandwidth/seed options only shape
+	// the simulator; on "tcp" the wire is whatever the host provides, and
+	// results are recorded under that substrate so trajectories never
+	// silently mix.
+	Transport string
 	// Seed seeds netsim randomness.
 	Seed int64
 	// Timeout bounds the whole run.
@@ -129,11 +139,39 @@ func (o *Options) fillDefaults() {
 	if o.Timeout == 0 {
 		o.Timeout = 2 * time.Minute
 	}
+	if o.Transport == "" {
+		o.Transport = TransportNetsim
+	}
+}
+
+// Transport substrate names, as recorded in results and series files.
+const (
+	TransportNetsim = "netsim"
+	TransportTCP    = "tcp"
+)
+
+// newTransport builds the substrate the options select.
+func newTransport(opts Options) (transport.Transport, error) {
+	switch opts.Transport {
+	case TransportNetsim:
+		return netsim.New(clock.NewReal(),
+			netsim.WithSeed(opts.Seed),
+			netsim.WithDefaultProfile(transport.Profile{
+				Latency:        transport.Fixed(opts.NetLatency),
+				BytesPerSecond: opts.Bandwidth,
+			})), nil
+	case TransportTCP:
+		return tcpnet.New(tcpnet.Config{})
+	default:
+		return nil, fmt.Errorf("bench: unknown transport %q (want %q or %q)",
+			opts.Transport, TransportNetsim, TransportTCP)
+	}
 }
 
 // Result is one experiment run's measurements.
 type Result struct {
 	System        System
+	Transport     string // substrate the run used ("netsim" or "tcp")
 	Members       int
 	MsgSize       int
 	MsgsPerMember int
@@ -198,12 +236,10 @@ type member struct {
 // Run executes one experiment.
 func Run(opts Options) (Result, error) {
 	opts.fillDefaults()
-	net := netsim.New(clock.NewReal(),
-		netsim.WithSeed(opts.Seed),
-		netsim.WithDefaultProfile(netsim.Profile{
-			Latency:        netsim.Fixed(opts.NetLatency),
-			BytesPerSecond: opts.Bandwidth,
-		}))
+	net, err := newTransport(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	defer net.Close()
 
 	members, fab, err := buildCluster(opts, net)
@@ -309,6 +345,7 @@ func Run(opts Options) (Result, error) {
 
 	res := Result{
 		System:        opts.System,
+		Transport:     opts.Transport,
 		Members:       opts.Members,
 		MsgSize:       opts.MsgSize,
 		MsgsPerMember: opts.MsgsPerMember,
@@ -333,9 +370,10 @@ func Run(opts Options) (Result, error) {
 	if counted > 0 {
 		res.Throughput = tput / float64(counted)
 	}
-	stats := net.Stats()
-	res.NetMessages = stats.Sent
-	res.NetBytes = stats.Bytes
+	if stats, ok := transport.GetStats(net); ok {
+		res.NetMessages = stats.Sent
+		res.NetBytes = stats.Bytes
+	}
 	if fab != nil {
 		cs := fab.SigCacheStats()
 		res.SigCacheHits, res.SigCacheMisses = cs.Hits, cs.Misses
@@ -355,7 +393,7 @@ func Run(opts Options) (Result, error) {
 
 // buildCluster deploys the middleware under test. The returned fabric is
 // non-nil only for FS-NewTOP, whose crypto-plane counters Run reports.
-func buildCluster(opts Options, net *netsim.Network) ([]*member, *fsnewtop.Fabric, error) {
+func buildCluster(opts Options, net transport.Transport) ([]*member, *fsnewtop.Fabric, error) {
 	names := make([]string, opts.Members)
 	for i := range names {
 		names[i] = fmt.Sprintf("m%02d", i)
@@ -396,7 +434,10 @@ func buildCluster(opts Options, net *netsim.Network) ([]*member, *fsnewtop.Fabri
 				return sig.NewRSASigner(id, sig.RSAKeySize, nil)
 			}
 		}
-		lan := &netsim.Profile{Latency: netsim.Fixed(opts.LANLatency)}
+		// On the simulator this shapes the pair's A2 sync link; a real
+		// network ignores it (transport.Shape no-ops without the
+		// capability) and the wire's own latency applies.
+		lan := &transport.Profile{Latency: transport.Fixed(opts.LANLatency)}
 		for _, name := range names {
 			peers := make([]string, 0, len(names)-1)
 			for _, p := range names {

@@ -7,8 +7,8 @@ import (
 	"fsnewtop/internal/bftbase"
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/metrics"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport/netsim"
 )
 
 // BFTOptions parameterises the traditional-BFT baseline run (the

@@ -36,8 +36,13 @@ type SeriesPoint struct {
 // Series is one figure's machine-readable output, written as
 // BENCH_fig{6,7,8}.json so the perf trajectory is diffable across PRs.
 type Series struct {
-	Figure    string        `json:"figure"` // "fig6", "fig7", "fig8"
-	XAxis     string        `json:"x_axis"` // "members" or "bytes"
+	Figure string `json:"figure"` // "fig6", "fig7", "fig8"
+	XAxis  string `json:"x_axis"` // "members" or "bytes"
+	// Transport is the network substrate the series was measured on
+	// ("netsim" or "tcp"). Recorded so perf trajectories never silently
+	// mix substrates: a tcp point diffed against a netsim baseline is a
+	// category error, not a regression.
+	Transport string        `json:"transport"`
 	Generated time.Time     `json:"generated"`
 	NewTOP    []SeriesPoint `json:"newtop"`
 	FSNewTOP  []SeriesPoint `json:"fs_newtop"`
@@ -66,8 +71,28 @@ func toPoint(x int, r Result, errStr string) SeriesPoint {
 }
 
 // ToSeries converts a figure's sweep rows into the JSON series shape.
-func ToSeries(figure, xAxis string, rows []Row) Series {
-	s := Series{Figure: figure, XAxis: xAxis, Generated: time.Now().UTC()}
+// substrate is the transport the sweep was asked to run on; passing it
+// explicitly (rather than inferring it from the rows) keeps the metadata
+// truthful even when every row errored before measuring — a failed tcp
+// sweep must never label itself netsim. An empty substrate falls back to
+// the first measured row's Result.Transport, then TransportNetsim.
+func ToSeries(figure, xAxis, substrate string, rows []Row) Series {
+	s := Series{Figure: figure, XAxis: xAxis, Transport: substrate, Generated: time.Now().UTC()}
+scan:
+	for _, r := range rows {
+		if s.Transport != "" {
+			break
+		}
+		for _, tr := range []string{r.NewTOP.Transport, r.FSNewTOP.Transport} {
+			if tr != "" {
+				s.Transport = tr
+				break scan
+			}
+		}
+	}
+	if s.Transport == "" {
+		s.Transport = TransportNetsim
+	}
 	for _, r := range rows {
 		s.NewTOP = append(s.NewTOP, toPoint(r.X, r.NewTOP, r.NewTOPErr))
 		s.FSNewTOP = append(s.FSNewTOP, toPoint(r.X, r.FSNewTOP, r.FSNewTOPErr))

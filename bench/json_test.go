@@ -18,7 +18,7 @@ func TestSeriesRoundTrip(t *testing.T) {
 		},
 		{X: 8, NewTOPErr: "timed out"},
 	}
-	s := ToSeries("fig7", "members", rows)
+	s := ToSeries("fig7", "members", TransportNetsim, rows)
 	if s.Figure != "fig7" || len(s.NewTOP) != 2 || len(s.FSNewTOP) != 2 {
 		t.Fatalf("series = %+v", s)
 	}

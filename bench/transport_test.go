@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestRunOverTCP runs the smallest experiment over real loopback sockets
+// and checks the substrate is recorded on the measurement — the metadata
+// that keeps tcp and netsim trajectories from silently mixing.
+func TestRunOverTCP(t *testing.T) {
+	opts := quickOpts(SystemNewTOP, 2)
+	opts.Transport = TransportTCP
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Expected {
+		t.Fatalf("delivered %d of %d", res.Delivered, res.Expected)
+	}
+	if res.Transport != TransportTCP {
+		t.Fatalf("Result.Transport = %q, want %q", res.Transport, TransportTCP)
+	}
+}
+
+// TestSeriesRecordsTransport pins the substrate into the series shape.
+func TestSeriesRecordsTransport(t *testing.T) {
+	if s := ToSeries("fig7", "members", TransportTCP, nil); s.Transport != TransportTCP {
+		t.Fatalf("Series.Transport = %q, want %q", s.Transport, TransportTCP)
+	}
+	// A tcp sweep whose every row errored before measuring must still be
+	// labeled tcp — never the netsim fallback.
+	rows := []Row{{X: 2, NewTOPErr: "bind refused", FSNewTOPErr: "bind refused"}}
+	if s := ToSeries("fig7", "members", TransportTCP, rows); s.Transport != TransportTCP {
+		t.Fatalf("all-error tcp series labeled %q, want %q", s.Transport, TransportTCP)
+	}
+	// With no explicit substrate, the rows' own measurements decide.
+	rows = []Row{{X: 2, NewTOP: Result{Transport: TransportTCP}}}
+	if s := ToSeries("fig7", "members", "", rows); s.Transport != TransportTCP {
+		t.Fatalf("inferred transport = %q, want %q", s.Transport, TransportTCP)
+	}
+	if s := ToSeries("fig7", "members", "", nil); s.Transport != TransportNetsim {
+		t.Fatalf("empty series default transport = %q, want %q", s.Transport, TransportNetsim)
+	}
+}
+
+// TestUnknownTransportRejected keeps substrate typos loud.
+func TestUnknownTransportRejected(t *testing.T) {
+	opts := quickOpts(SystemNewTOP, 2)
+	opts.Transport = "carrier-pigeon"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -18,7 +18,7 @@ import (
 	"testing"
 	"time"
 
-	"fsnewtop/internal/bench"
+	"fsnewtop/bench"
 	"fsnewtop/internal/sig"
 )
 

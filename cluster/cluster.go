@@ -1,0 +1,392 @@
+// Package cluster is the one-import deployment API for this repository:
+// it assembles a complete FS-NewTOP (or crash-tolerant NewTOP) group of
+// members over any transport backend and hands back joined, ready-to-use
+// members — replacing the five-package wiring dance (netsim + fabric +
+// fsnewtop config + group config + per-member plumbing) with a
+// functional-options builder:
+//
+//	c, err := cluster.New(
+//		cluster.WithMembers("alice", "bob", "carol"),
+//	)
+//	...
+//	c.JoinAll("chat")
+//	c.Member("alice").Multicast("chat", cluster.TotalSym, []byte("hi"))
+//	for d := range c.Member("bob").Deliveries() { ... }
+//
+// By default members are fail-signal processes (self-checking replica
+// pairs, Section 3.1 of the paper): the middleware tolerates
+// authenticated Byzantine faults, and failure suspicions require a
+// verified fail-signal. WithCrashTolerance selects the crash-stop
+// baseline (plain NewTOP with a ping suspector) instead — the contrast
+// the paper's failover arguments are built on.
+//
+// The transport is pluggable (package transport): by default a simulated
+// in-process network (transport/netsim) is created and owned by the
+// cluster; WithTransport substitutes any other backend — notably real TCP
+// sockets (transport/tcpnet) — without changing a line of application
+// code. Fault-injection helpers (Isolate, ShapeLinks) are honored when
+// the backend implements transport.FaultInjector and report refusal when
+// it does not, so tests cannot silently no-op on a real network.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"fsnewtop/internal/clock"
+	failsignal "fsnewtop/internal/core"
+	"fsnewtop/internal/fsnewtop"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/newtop"
+	"fsnewtop/internal/orb"
+	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
+	"fsnewtop/transport/netsim"
+)
+
+// Ordering selects the delivery quality of one multicast, mirroring the
+// NewTOP service inventory.
+type Ordering uint8
+
+const (
+	// Unreliable is best-effort multicast: no sequencing, no ordering.
+	Unreliable = Ordering(group.Unreliable)
+	// Reliable delivers each message exactly once per member, in
+	// per-sender order.
+	Reliable = Ordering(group.Reliable)
+	// Causal delivers messages respecting potential causality.
+	Causal = Ordering(group.Causal)
+	// TotalSym is the symmetric (decentralised) total order protocol.
+	TotalSym = Ordering(group.TotalSym)
+	// TotalAsym is the asymmetric (fixed-sequencer) total order protocol.
+	TotalAsym = Ordering(group.TotalAsym)
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string { return group.Service(o).String() }
+
+// Delivery is one message handed to the application, in delivery order.
+type Delivery struct {
+	Group    string
+	Origin   string // logical name of the sending member
+	Ordering Ordering
+	Payload  []byte
+}
+
+// View is one installed membership view.
+type View struct {
+	Group   string
+	ViewID  uint64
+	Members []string
+}
+
+// config collects the options.
+type config struct {
+	tr           transport.Transport
+	members      []string
+	clk          clock.Clock
+	rsa          bool
+	crash        bool
+	delta        time.Duration
+	poolSize     int
+	tickInterval time.Duration
+	pingInterval time.Duration
+	suspectAfter time.Duration
+	viewRetry    time.Duration
+	syncLink     *transport.Profile
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithTransport runs the cluster over t instead of a private simulated
+// network. The caller keeps ownership: Close does not close t.
+func WithTransport(t transport.Transport) Option {
+	return func(c *config) { c.tr = t }
+}
+
+// WithMembers names the cluster's members. Required, at least two.
+func WithMembers(names ...string) Option {
+	return func(c *config) { c.members = append(c.members[:0], names...) }
+}
+
+// WithRSA signs fail-signal traffic with MD5-and-RSA — the paper's
+// scheme — instead of fast HMAC. Ignored under WithCrashTolerance.
+func WithRSA() Option {
+	return func(c *config) { c.rsa = true }
+}
+
+// WithCrashTolerance builds crash-stop NewTOP members (ping suspector, no
+// replica pairs) instead of fail-signal processes: the paper's baseline,
+// in which message loss alone can split the group.
+func WithCrashTolerance() Option {
+	return func(c *config) { c.crash = true }
+}
+
+// WithDelta sets δ, the synchronous bound of each pair's leader↔follower
+// link. Default 150ms — generous, so scheduling noise on a loaded host is
+// not mistaken for replica failure.
+func WithDelta(d time.Duration) Option {
+	return func(c *config) { c.delta = d }
+}
+
+// WithClock substitutes the time source (tests).
+func WithClock(clk clock.Clock) Option {
+	return func(c *config) { c.clk = clk }
+}
+
+// WithPoolSize sets each member's ORB request pool (0 = the paper's 10).
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.poolSize = n }
+}
+
+// WithTickInterval paces each member's protocol machine ticks.
+func WithTickInterval(d time.Duration) Option {
+	return func(c *config) { c.tickInterval = d }
+}
+
+// WithPingSuspector tunes the crash-stop failure suspector: ping every
+// interval, suspect after silence. Only meaningful with
+// WithCrashTolerance (fail-signal members do not guess).
+func WithPingSuspector(interval, suspectAfter time.Duration) Option {
+	return func(c *config) { c.pingInterval, c.suspectAfter = interval, suspectAfter }
+}
+
+// WithViewRetry bounds how long a member waits on a stalled view change
+// before re-proposing.
+func WithViewRetry(d time.Duration) Option {
+	return func(c *config) { c.viewRetry = d }
+}
+
+// WithSyncLinkProfile shapes each pair's leader↔follower link (the A2
+// LAN) on fault-injecting transports; real networks ignore it.
+func WithSyncLinkProfile(p transport.Profile) Option {
+	return func(c *config) { c.syncLink = &p }
+}
+
+// Cluster is a running deployment of members over one transport.
+type Cluster struct {
+	tr      transport.Transport
+	ownsTr  bool
+	crash   bool
+	fab     *fsnewtop.Fabric
+	names   []string
+	members map[string]*Member
+}
+
+// New assembles and starts a cluster. Every named member is built,
+// wired to every other, and ready to Join.
+func New(opts ...Option) (*Cluster, error) {
+	cfg := &config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	if len(cfg.members) < 2 {
+		return nil, fmt.Errorf("cluster: need at least two members (WithMembers)")
+	}
+	seen := make(map[string]bool, len(cfg.members))
+	for _, n := range cfg.members {
+		if n == "" || seen[n] {
+			return nil, fmt.Errorf("cluster: member names must be unique and non-empty (got %q)", n)
+		}
+		seen[n] = true
+	}
+	if cfg.clk == nil {
+		cfg.clk = clock.NewReal()
+	}
+	if cfg.delta == 0 {
+		cfg.delta = 150 * time.Millisecond
+	}
+
+	c := &Cluster{
+		tr:      cfg.tr,
+		crash:   cfg.crash,
+		names:   append([]string(nil), cfg.members...),
+		members: make(map[string]*Member, len(cfg.members)),
+	}
+	if c.tr == nil {
+		c.tr = netsim.New(cfg.clk, netsim.WithDefaultProfile(transport.Profile{
+			Latency: transport.Fixed(200 * time.Microsecond),
+		}))
+		c.ownsTr = true
+	}
+
+	built := false
+	defer func() {
+		if !built {
+			c.Close()
+		}
+	}()
+
+	if cfg.crash {
+		naming := orb.NewNaming()
+		for _, name := range c.names {
+			svc, err := newtop.New(newtop.Config{
+				Name:         name,
+				Net:          c.tr,
+				Naming:       naming,
+				Clock:        cfg.clk,
+				PoolSize:     cfg.poolSize,
+				TickInterval: cfg.tickInterval,
+				GC: group.Config{
+					PingInterval:   cfg.pingInterval,
+					SuspectAfter:   cfg.suspectAfter,
+					ViewRetryAfter: cfg.viewRetry,
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
+			}
+			c.members[name] = newMember(name, svc, nil)
+		}
+	} else {
+		c.fab = fsnewtop.NewFabric(c.tr, cfg.clk)
+		if cfg.rsa {
+			c.fab.NewSigner = func(id sig.ID) (sig.Signer, error) {
+				return sig.NewRSASigner(id, sig.RSAKeySize, nil)
+			}
+		}
+		for _, name := range c.names {
+			peers := make([]string, 0, len(c.names)-1)
+			for _, p := range c.names {
+				if p != name {
+					peers = append(peers, p)
+				}
+			}
+			nso, err := fsnewtop.New(fsnewtop.Config{
+				Name:         name,
+				Fabric:       c.fab,
+				Peers:        peers,
+				Delta:        cfg.delta,
+				TickInterval: cfg.tickInterval,
+				PoolSize:     cfg.poolSize,
+				SyncLink:     cfg.syncLink,
+				GC: group.Config{
+					ViewRetryAfter: cfg.viewRetry,
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
+			}
+			c.members[name] = newMember(name, nso, nso)
+		}
+	}
+	built = true
+	return c, nil
+}
+
+// Names returns the member names, in declaration order.
+func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+
+// Member returns the named member, or nil if unknown.
+func (c *Cluster) Member(name string) *Member { return c.members[name] }
+
+// Transport returns the cluster's transport (capability discovery,
+// registering application endpoints next to the members).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// JoinAll makes every member join groupName with the full cluster
+// membership — the common static-deployment bootstrap.
+func (c *Cluster) JoinAll(groupName string) error {
+	for _, name := range c.names {
+		if err := c.members[name].Join(groupName, c.names...); err != nil {
+			return fmt.Errorf("cluster: %q joining %q: %w", name, groupName, err)
+		}
+	}
+	return nil
+}
+
+// Stats reports transport-level traffic counters, if the backend accounts
+// for them.
+func (c *Cluster) Stats() (transport.Stats, bool) { return transport.GetStats(c.tr) }
+
+// CrashLeader silently crashes name's leader FSO node — the fault the
+// pair's self-checking protocol converts into a verified fail-signal.
+// Returns false for crash-tolerant clusters and unknown members.
+func (c *Cluster) CrashLeader(name string) bool {
+	if m := c.members[name]; m != nil && m.nso != nil {
+		m.nso.Pair().Leader.Crash()
+		return true
+	}
+	return false
+}
+
+// CrashFollower silently crashes name's follower FSO node.
+func (c *Cluster) CrashFollower(name string) bool {
+	if m := c.members[name]; m != nil && m.nso != nil {
+		m.nso.Pair().Follower.Crash()
+		return true
+	}
+	return false
+}
+
+// InjectFailSignal makes name's leader FSO emit its fail-signal
+// arbitrarily (the paper's fs2 arbitrary-fail-signalling fault).
+func (c *Cluster) InjectFailSignal(name string) bool {
+	if m := c.members[name]; m != nil && m.nso != nil {
+		m.nso.Pair().Leader.InjectFailSignal()
+		return true
+	}
+	return false
+}
+
+// addrsOf enumerates every transport address member name occupies.
+func (c *Cluster) addrsOf(name string) []transport.Addr {
+	addrs := []transport.Addr{newtop.NodeAddr(name)}
+	if !c.crash {
+		addrs = append(addrs,
+			failsignal.LeaderAddr(name),
+			failsignal.FollowerAddr(name),
+			fsnewtop.InvAddr(name),
+		)
+	}
+	return addrs
+}
+
+// Isolate blocks all traffic between members a and b (every address either
+// occupies, both directions). It reports whether the transport supports
+// partitions; callers demonstrating failure semantics must check it.
+func (c *Cluster) Isolate(a, b string) bool {
+	return c.forEachLink(a, b, func(fi transport.FaultInjector, x, y transport.Addr) {
+		fi.Block(x, y)
+	})
+}
+
+// Heal unblocks all traffic between members a and b.
+func (c *Cluster) Heal(a, b string) bool {
+	return c.forEachLink(a, b, func(fi transport.FaultInjector, x, y transport.Addr) {
+		fi.Unblock(x, y)
+	})
+}
+
+// ShapeLinks applies profile p to every link between members a and b
+// (both directions), e.g. to model a slow WAN between two sites.
+func (c *Cluster) ShapeLinks(a, b string, p transport.Profile) bool {
+	return c.forEachLink(a, b, func(fi transport.FaultInjector, x, y transport.Addr) {
+		fi.SetLinkProfile(x, y, p)
+	})
+}
+
+func (c *Cluster) forEachLink(a, b string, f func(transport.FaultInjector, transport.Addr, transport.Addr)) bool {
+	fi, ok := c.tr.(transport.FaultInjector)
+	if !ok {
+		return false
+	}
+	for _, x := range c.addrsOf(a) {
+		for _, y := range c.addrsOf(b) {
+			f(fi, x, y)
+		}
+	}
+	return true
+}
+
+// Close shuts every member down, then the transport if the cluster
+// created it.
+func (c *Cluster) Close() {
+	for _, m := range c.members {
+		m.close()
+	}
+	if c.ownsTr && c.tr != nil {
+		c.tr.Close()
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+
+	"fsnewtop/internal/fsnewtop"
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/newtop"
+)
+
+// channelBuffer sizes the public event channels; it matches the
+// middleware's own delivery buffering.
+const channelBuffer = 8192
+
+// Member is one cluster member: the application-facing handle onto its
+// middleware stack (invocation layer + GC machine — wrapped in a
+// fail-signal pair unless the cluster is crash-tolerant).
+type Member struct {
+	name string
+	svc  newtop.Service
+	nso  *fsnewtop.NSO // nil for crash-tolerant members
+
+	deliveries  chan Delivery
+	views       chan View
+	failSignals chan string
+	stop        chan struct{}
+	closeOnce   sync.Once
+}
+
+// newMember wraps a middleware service and starts the pump that converts
+// internal events into the public types.
+func newMember(name string, svc newtop.Service, nso *fsnewtop.NSO) *Member {
+	m := &Member{
+		name:        name,
+		svc:         svc,
+		nso:         nso,
+		deliveries:  make(chan Delivery, channelBuffer),
+		views:       make(chan View, channelBuffer),
+		failSignals: make(chan string, 64),
+		stop:        make(chan struct{}),
+	}
+	go m.pump()
+	return m
+}
+
+// pump forwards middleware events to the public channels. A full public
+// channel applies backpressure to the middleware, exactly as direct
+// consumption would.
+func (m *Member) pump() {
+	var fails <-chan string
+	if m.nso != nil {
+		fails = m.nso.FailSignals()
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case d := <-m.svc.Deliveries():
+			out := Delivery{Group: d.Group, Origin: d.Origin, Ordering: Ordering(d.Service), Payload: d.Payload}
+			select {
+			case m.deliveries <- out:
+			case <-m.stop:
+				return
+			}
+		case v := <-m.svc.Views():
+			out := View{Group: v.Group, ViewID: v.ViewID, Members: v.Members}
+			select {
+			case m.views <- out:
+			case <-m.stop:
+				return
+			}
+		case src := <-fails:
+			select {
+			case m.failSignals <- src:
+			default: // fail-signal observers are advisory; never block on them
+			}
+		}
+	}
+}
+
+// Name returns the member's logical name.
+func (m *Member) Name() string { return m.name }
+
+// Join creates/joins a group. With no explicit members the call is
+// invalid — use Cluster.JoinAll for the full-membership bootstrap.
+func (m *Member) Join(groupName string, members ...string) error {
+	return m.svc.Join(groupName, members)
+}
+
+// Multicast sends payload to the group at the given ordering level.
+func (m *Member) Multicast(groupName string, o Ordering, payload []byte) error {
+	return m.svc.Multicast(groupName, group.Service(o), payload)
+}
+
+// Deliveries streams delivered messages. Consumers must drain it; an
+// undrained channel applies backpressure to the protocol machine.
+func (m *Member) Deliveries() <-chan Delivery { return m.deliveries }
+
+// Views streams installed membership views.
+func (m *Member) Views() <-chan View { return m.views }
+
+// FailSignals streams the sources of verified fail-signals received by
+// this member's invocation layer. Crash-tolerant members have no
+// fail-signals; their channel never delivers.
+func (m *Member) FailSignals() <-chan string { return m.failSignals }
+
+// close stops the pump and the underlying middleware stack. Idempotent.
+func (m *Member) close() {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		m.svc.Close()
+	})
+}

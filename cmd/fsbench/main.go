@@ -22,7 +22,7 @@ import (
 	"strings"
 	"time"
 
-	"fsnewtop/internal/bench"
+	"fsnewtop/bench"
 )
 
 func main() {
@@ -32,6 +32,7 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Millisecond, "inter-send interval per member")
 		pool     = flag.Int("pool", 0, "ORB request pool size (0 = paper default 10)")
 		rsa      = flag.Bool("rsa", false, "sign FS outputs with MD5-and-RSA (the paper's scheme) instead of HMAC")
+		trans    = flag.String("transport", bench.TransportNetsim, "network substrate: netsim (seeded simulator) or tcp (real loopback sockets)")
 		members  = flag.String("members", "", "comma-separated group sizes override (fig6/fig7)")
 		sizes    = flag.String("sizes", "", "comma-separated message sizes override in bytes (fig8)")
 		soakSize = flag.Int("soak-members", 40, "group size for -exp soak")
@@ -42,11 +43,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if *trans != bench.TransportNetsim && *trans != bench.TransportTCP {
+		fmt.Fprintf(os.Stderr, "unknown -transport %q (want %s or %s)\n", *trans, bench.TransportNetsim, bench.TransportTCP)
+		os.Exit(2)
+	}
 	base := bench.Options{
 		MsgsPerMember: *msgs,
 		SendInterval:  *interval,
 		PoolSize:      *pool,
 		RSA:           *rsa,
+		Transport:     *trans,
 		Timeout:       *timeout,
 		Seed:          *seed,
 	}
@@ -61,7 +67,13 @@ func main() {
 			// trajectory they are compared against.
 			figure += "_rsa"
 		}
-		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, rows))
+		if *trans == bench.TransportTCP {
+			// Real-socket runs likewise get their own files: the series
+			// metadata records the substrate, and the filename keeps a tcp
+			// run from ever overwriting the netsim trajectory.
+			figure += "_tcp"
+		}
+		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, *trans, rows))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s series: %v\n", figure, err)
 			os.Exit(1)
@@ -104,7 +116,7 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v\n\n", *msgs, *interval, *pool, *rsa)
+	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v transport=%s\n\n", *msgs, *interval, *pool, *rsa, *trans)
 	if *exp == "all" {
 		for _, name := range []string{"fig6", "fig7", "fig8"} {
 			run(name)

@@ -1,5 +1,5 @@
 // Command fsdemo narrates the paper's core claims on a live in-process
-// cluster:
+// cluster, entirely through the public cluster API:
 //
 //	fsdemo -fault crash   # a replica node dies; its pair fail-signals
 //	fsdemo -fault fs2     # a node emits fail-signals arbitrarily
@@ -17,12 +17,7 @@ import (
 	"os"
 	"time"
 
-	"fsnewtop/internal/clock"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
-	"fsnewtop/internal/orb"
+	"fsnewtop/cluster"
 )
 
 func main() {
@@ -39,46 +34,30 @@ func main() {
 	}
 }
 
+// fatal prints and exits.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 // runFS demonstrates FS-NewTOP under the chosen fault.
 func runFS(fault string) {
 	fmt.Println("== FS-NewTOP: 3 members, each a self-checking pair (6 middleware nodes) ==")
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(200 * time.Microsecond)}))
-	defer net.Close()
-	fab := fsnewtop.NewFabric(net, clock.NewReal())
-	members := []string{"alice", "bob", "carol"}
-
-	nsos := map[string]*fsnewtop.NSO{}
-	for _, m := range members {
-		peers := []string{}
-		for _, p := range members {
-			if p != m {
-				peers = append(peers, p)
-			}
-		}
-		nso, err := fsnewtop.New(fsnewtop.Config{
-			Name:   m,
-			Fabric: fab,
-			Peers:  peers,
-			Delta:  150 * time.Millisecond,
-			GC:     group.Config{ViewRetryAfter: 100 * time.Millisecond},
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer nso.Close()
-		nsos[m] = nso
+	c, err := cluster.New(
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithViewRetry(100*time.Millisecond),
+	)
+	if err != nil {
+		fatal(err)
 	}
-	for _, m := range members {
-		if err := nsos[m].Join("demo", members); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	defer c.Close()
+	if err := c.JoinAll("demo"); err != nil {
+		fatal(err)
 	}
 
 	// Narrate alice's event streams.
 	go func() {
-		a := nsos["alice"]
+		a := c.Member("alice")
 		for {
 			select {
 			case d := <-a.Deliveries():
@@ -90,21 +69,21 @@ func runFS(fault string) {
 			}
 		}
 	}()
-	for _, m := range []string{"bob", "carol"} {
-		nso := nsos[m]
+	for _, name := range []string{"bob", "carol"} {
+		m := c.Member(name)
 		go func() {
 			for {
 				select {
-				case <-nso.Deliveries():
-				case <-nso.Views():
-				case <-nso.FailSignals():
+				case <-m.Deliveries():
+				case <-m.Views():
+				case <-m.FailSignals():
 				}
 			}
 		}()
 	}
 
-	say := func(m, text string) {
-		if err := nsos[m].Multicast("demo", group.TotalSym, []byte(text)); err != nil {
+	say := func(who, text string) {
+		if err := c.Member(who).Multicast("demo", cluster.TotalSym, []byte(text)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
@@ -116,11 +95,11 @@ func runFS(fault string) {
 	switch fault {
 	case "crash":
 		fmt.Println("-- injecting fault: carol's follower node crashes silently --")
-		nsos["carol"].Pair().Follower.Crash()
+		c.CrashFollower("carol")
 		say("alice", "message after the crash")
 	case "fs2":
 		fmt.Println("-- injecting fault: carol's leader node emits its fail-signal arbitrarily (fs2) --")
-		nsos["carol"].Pair().Leader.InjectFailSignal()
+		c.InjectFailSignal("carol")
 	case "none":
 		fmt.Println("-- no fault injected --")
 	}
@@ -135,52 +114,37 @@ func runFS(fault string) {
 // runSplit demonstrates the crash-NewTOP false-suspicion split.
 func runSplit() {
 	fmt.Println("== crash NewTOP: 3 members; alice and bob lose contact (NOBODY crashes) ==")
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(200 * time.Microsecond)}))
-	defer net.Close()
-	naming := orb.NewNaming()
-	members := []string{"alice", "bob", "carol"}
-	nsos := map[string]*newtop.NSO{}
-	for _, m := range members {
-		nso, err := newtop.New(newtop.Config{
-			Name:   m,
-			Net:    net,
-			Naming: naming,
-			Clock:  clock.NewReal(),
-			GC: group.Config{
-				PingInterval: 20 * time.Millisecond,
-				SuspectAfter: 150 * time.Millisecond,
-			},
-			TickInterval: 5 * time.Millisecond,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer nso.Close()
-		nsos[m] = nso
+	c, err := cluster.New(
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithCrashTolerance(),
+		cluster.WithPingSuspector(20*time.Millisecond, 150*time.Millisecond),
+		cluster.WithTickInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		fatal(err)
 	}
-	for _, m := range members {
-		if err := nsos[m].Join("demo", members); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	defer c.Close()
+	if err := c.JoinAll("demo"); err != nil {
+		fatal(err)
 	}
-	for _, m := range members {
-		m := m
-		nso := nsos[m]
+	for _, name := range c.Names() {
+		name := name
+		m := c.Member(name)
 		go func() {
 			for {
 				select {
-				case <-nso.Deliveries():
-				case v := <-nso.Views():
-					fmt.Printf("  %s installed view %d: %v\n", m, v.ViewID, v.Members)
+				case <-m.Deliveries():
+				case v := <-m.Views():
+					fmt.Printf("  %s installed view %d: %v\n", name, v.ViewID, v.Members)
 				}
 			}
 		}()
 	}
 	time.Sleep(300 * time.Millisecond)
 	fmt.Println("-- blocking the alice↔bob link (both stay alive and connected to carol) --")
-	net.Block(newtop.NodeAddr("alice"), newtop.NodeAddr("bob"))
+	if !c.Isolate("alice", "bob") {
+		fatal(fmt.Errorf("transport cannot inject partitions; the split narrative would be vacuous"))
+	}
 	time.Sleep(3 * time.Second)
 	fmt.Println("== note the disjoint views: the group split although no process failed ==")
 	fmt.Println("== FS-NewTOP cannot do this: suspicions require a verified fail-signal ==")

@@ -2,7 +2,14 @@
 // Tolerance to Authenticated Byzantine Tolerance: A Structured Approach,
 // the Cost and Benefits" (Mpoeleng, Ezhilchelvan, Speirs — DSN 2003).
 //
-// The repository implements the complete system stack the paper describes:
+// The public deployment surface is three packages: cluster (a one-import
+// functional-options facade yielding joined, FS-wrapped members),
+// transport (the pluggable message plane every protocol layer is written
+// against, with netsim and tcpnet backends), and bench (the experiment
+// harness regenerating the paper's figures on either substrate).
+//
+// Underneath, the repository implements the complete system stack the
+// paper describes:
 //
 //   - internal/core — the fail-signal process construction (the primary
 //     contribution): deterministic state machines replicated as
@@ -16,11 +23,11 @@
 //   - internal/fsnewtop — FS-NewTOP: the same GC machine wrapped into
 //     fail-signal pairs via ORB interceptors, with a suspector that turns
 //     verified fail-signals into suspicions that cannot be false;
-//   - internal/vote — 2f+1 application replication with client-side
-//     majority voting (the paper's Figure 4 deployment);
+//   - vote — public 2f+1 application replication with client-side
+//     majority voting (the paper's Figure 4 deployment), composing over
+//     the cluster API;
 //   - internal/bftbase — a 3f+1 authenticated-BFT baseline for the cost
-//     comparison the introduction draws;
-//   - internal/bench — the harness regenerating Figures 6, 7 and 8.
+//     comparison the introduction draws.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results. The

@@ -1,6 +1,6 @@
 // E-auction: the class of Internet-based dependable application the paper's
 // introduction motivates ("e-auctions, B2B applications"), built on
-// FS-NewTOP's totally-ordered multicast.
+// FS-NewTOP's totally-ordered multicast through the public cluster API.
 //
 // Each auction-house site runs an identical deterministic auction engine
 // over the same totally-ordered bid stream, so all sites agree on every
@@ -18,11 +18,7 @@ import (
 	"math/rand"
 	"time"
 
-	"fsnewtop/internal/clock"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
+	"fsnewtop/cluster"
 )
 
 // Bid is one auction action.
@@ -50,57 +46,36 @@ func (a *auctionEngine) apply(b Bid) {
 }
 
 func main() {
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
-		Latency: netsim.Fixed(200 * time.Microsecond),
-	}))
-	defer net.Close()
-	fabric := fsnewtop.NewFabric(net, clock.NewReal())
-
 	sites := []string{"site-LON", "site-NYC", "site-TYO"}
-	services := make(map[string]newtop.Service)
-	for _, name := range sites {
-		var peers []string
-		for _, p := range sites {
-			if p != name {
-				peers = append(peers, p)
-			}
-		}
-		svc, err := fsnewtop.New(fsnewtop.Config{
-			Name: name, Fabric: fabric, Peers: peers,
-			Delta: 100 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer svc.Close()
-		services[name] = svc
+	c, err := cluster.New(
+		cluster.WithMembers(sites...),
+		cluster.WithDelta(100*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, name := range sites {
-		if err := services[name].Join("auction", sites); err != nil {
-			log.Fatal(err)
-		}
+	defer c.Close()
+	if err := c.JoinAll("auction"); err != nil {
+		log.Fatal(err)
 	}
 
 	const totalBids = 12
-	engines := make(map[string]*auctionEngine)
 	results := make(chan *auctionEngine, len(sites))
 	for _, name := range sites {
-		name := name
 		eng := &auctionEngine{site: name}
-		engines[name] = eng
-		svc := services[name]
+		m := c.Member(name)
 		go func() {
 			seen := 0
 			for seen < totalBids {
 				select {
-				case d := <-svc.Deliveries():
+				case d := <-m.Deliveries():
 					var b Bid
 					if err := json.Unmarshal(d.Payload, &b); err != nil {
 						continue
 					}
 					eng.apply(b)
 					seen++
-				case <-svc.Views():
+				case <-m.Views():
 				}
 			}
 			results <- eng
@@ -120,7 +95,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := services[site].Multicast("auction", group.TotalSym, payload); err != nil {
+		if err := c.Member(site).Multicast("auction", cluster.TotalSym, payload); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,4 +1,5 @@
-// Failover contrast: the paper's two failure-handling worlds side by side.
+// Failover contrast: the paper's two failure-handling worlds side by side,
+// expressed entirely in the public cluster API.
 //
 // Act 1 (crash-tolerant NewTOP): two members lose contact — nobody fails —
 // and the timeout suspector splits the live group into disjoint views.
@@ -15,12 +16,8 @@ import (
 	"log"
 	"time"
 
-	"fsnewtop/internal/clock"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
-	"fsnewtop/internal/orb"
+	"fsnewtop/cluster"
+	"fsnewtop/transport"
 )
 
 func main() {
@@ -29,45 +26,46 @@ func main() {
 	actTwo()
 }
 
+// watch forwards one member's view installations and fail-signals into ch.
+func watch(c *cluster.Cluster, name string, ch chan<- string) {
+	m := c.Member(name)
+	go func() {
+		for {
+			select {
+			case <-m.Deliveries():
+			case v := <-m.Views():
+				ch <- fmt.Sprintf("  %s installed view %d: %v", name, v.ViewID, v.Members)
+			case src := <-m.FailSignals():
+				ch <- fmt.Sprintf("  %s received a fail-signal from %s", name, src)
+			}
+		}
+	}()
+}
+
 // actOne shows the false-suspicion split in the crash-tolerant system.
 func actOne() {
 	fmt.Println("ACT 1 — crash NewTOP: message loss between live members")
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
-		Latency: netsim.Fixed(200 * time.Microsecond),
-	}))
-	defer net.Close()
-	naming := orb.NewNaming()
-	members := []string{"n1", "n2", "n3"}
+	c, err := cluster.New(
+		cluster.WithMembers("n1", "n2", "n3"),
+		cluster.WithCrashTolerance(),
+		cluster.WithPingSuspector(20*time.Millisecond, 150*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.JoinAll("g"); err != nil {
+		log.Fatal(err)
+	}
 	views := make(chan string, 64)
-	for _, name := range members {
-		name := name
-		svc, err := newtop.New(newtop.Config{
-			Name: name, Net: net, Naming: naming, Clock: clock.NewReal(),
-			GC: group.Config{
-				PingInterval: 20 * time.Millisecond,
-				SuspectAfter: 150 * time.Millisecond,
-			},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer svc.Close()
-		if err := svc.Join("g", members); err != nil {
-			log.Fatal(err)
-		}
-		go func() {
-			for {
-				select {
-				case <-svc.Deliveries():
-				case v := <-svc.Views():
-					views <- fmt.Sprintf("  %s installed view %d: %v", name, v.ViewID, v.Members)
-				}
-			}
-		}()
+	for _, name := range c.Names() {
+		watch(c, name, views)
 	}
 	drainFor(views, 400*time.Millisecond)
 	fmt.Println("  -- blocking the n1<->n2 link; n1 and n2 are both alive --")
-	net.Block(newtop.NodeAddr("n1"), newtop.NodeAddr("n2"))
+	if !c.Isolate("n1", "n2") {
+		log.Fatal("transport refused fault injection")
+	}
 	drainFor(views, 3*time.Second)
 	fmt.Println("  => the group split although no process failed (false suspicion)")
 }
@@ -75,64 +73,36 @@ func actOne() {
 // actTwo shows fail-signal-driven reconfiguration in FS-NewTOP.
 func actTwo() {
 	fmt.Println("ACT 2 — FS-NewTOP: a real node failure, and mere delay for contrast")
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
-		Latency: netsim.Fixed(200 * time.Microsecond),
-	}))
-	defer net.Close()
-	fabric := fsnewtop.NewFabric(net, clock.NewReal())
-	members := []string{"n1", "n2", "n3"}
-	services := make(map[string]*fsnewtop.NSO)
+	c, err := cluster.New(
+		cluster.WithMembers("n1", "n2", "n3"),
+		cluster.WithViewRetry(100*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.JoinAll("g"); err != nil {
+		log.Fatal(err)
+	}
 	views := make(chan string, 64)
-	for _, name := range members {
-		name := name
-		var peers []string
-		for _, p := range members {
-			if p != name {
-				peers = append(peers, p)
-			}
-		}
-		svc, err := fsnewtop.New(fsnewtop.Config{
-			Name: name, Fabric: fabric, Peers: peers,
-			Delta: 150 * time.Millisecond,
-			GC:    group.Config{ViewRetryAfter: 100 * time.Millisecond},
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer svc.Close()
-		services[name] = svc
-		if err := svc.Join("g", members); err != nil {
-			log.Fatal(err)
-		}
-		go func() {
-			for {
-				select {
-				case <-svc.Deliveries():
-				case v := <-svc.Views():
-					views <- fmt.Sprintf("  %s installed view %d: %v", name, v.ViewID, v.Members)
-				case src := <-svc.FailSignals():
-					views <- fmt.Sprintf("  %s received a fail-signal from %s", name, src)
-				}
-			}
-		}()
+	for _, name := range c.Names() {
+		watch(c, name, views)
 	}
 	drainFor(views, 400*time.Millisecond)
 
-	fmt.Println("  -- slowing the n1<->n2 inter-pair links to 100ms (no failure) --")
-	for _, a := range []netsim.Addr{"n1#L", "n1#F"} {
-		for _, b := range []netsim.Addr{"n2#L", "n2#F"} {
-			net.SetLinkProfile(a, b, netsim.Profile{Latency: netsim.Fixed(100 * time.Millisecond)})
-		}
+	fmt.Println("  -- slowing every n1<->n2 link to 100ms (no failure) --")
+	if !c.ShapeLinks("n1", "n2", transport.Profile{Latency: transport.Fixed(100 * time.Millisecond)}) {
+		log.Fatal("transport refused fault injection")
 	}
-	if err := services["n1"].Multicast("g", group.TotalSym, []byte("slow but safe")); err != nil {
+	if err := c.Member("n1").Multicast("g", cluster.TotalSym, []byte("slow but safe")); err != nil {
 		log.Fatal(err)
 	}
-	drainFor(views, 1500*time.Millisecond)
+	drainFor(views, 3*time.Second)
 	fmt.Println("  => no reconfiguration: delay alone cannot trigger a (sure) suspicion")
 
 	fmt.Println("  -- crashing n3's follower node for real --")
-	services["n3"].Pair().Follower.Crash()
-	if err := services["n1"].Multicast("g", group.TotalSym, []byte("trigger output comparison")); err != nil {
+	c.CrashFollower("n3")
+	if err := c.Member("n1").Multicast("g", cluster.TotalSym, []byte("trigger output comparison")); err != nil {
 		log.Fatal(err)
 	}
 	drainFor(views, 10*time.Second)

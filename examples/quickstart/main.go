@@ -1,93 +1,85 @@
-// Quickstart: a three-member, totally-ordered group chat over FS-NewTOP.
+// Quickstart: a three-member, totally-ordered group chat over FS-NewTOP —
+// in one import.
 //
 // Every member is a fail-signal process (a self-checking replica pair), so
 // the middleware tolerates authenticated Byzantine faults — yet the
-// application code below only sees the plain NewTOP group-communication
-// API: join a group, multicast, consume deliveries.
+// application below only sees the cluster API: build the cluster, join a
+// group, multicast, consume deliveries.
 //
-// Run with: go run ./examples/quickstart
+// The network behind the cluster is pluggable (package transport): run
+// with -tcp to execute the identical program over real loopback TCP
+// sockets instead of the in-process simulator.
+//
+// Run with: go run ./examples/quickstart [-tcp]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"fsnewtop/internal/clock"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
+	"fsnewtop/cluster"
+	"fsnewtop/transport/tcpnet"
 )
 
 func main() {
-	// The fabric bundles the simulated network, naming, key directory and
-	// fail-signal process directory shared by one deployment.
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
-		Latency: netsim.Fixed(200 * time.Microsecond),
-	}))
-	defer net.Close()
-	fabric := fsnewtop.NewFabric(net, clock.NewReal())
+	useTCP := flag.Bool("tcp", false, "run over real loopback TCP sockets instead of the simulator")
+	flag.Parse()
 
-	members := []string{"alice", "bob", "carol"}
-	services := make(map[string]newtop.Service)
-	for _, name := range members {
-		var peers []string
-		for _, p := range members {
-			if p != name {
-				peers = append(peers, p)
-			}
-		}
-		svc, err := fsnewtop.New(fsnewtop.Config{
-			Name:   name,
-			Fabric: fabric,
-			Peers:  peers,
-			Delta:  100 * time.Millisecond, // sync-link bound δ of the replica pairs
-		})
+	opts := []cluster.Option{
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithDelta(100 * time.Millisecond), // sync-link bound δ of the replica pairs
+	}
+	if *useTCP {
+		tr, err := tcpnet.New(tcpnet.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer svc.Close()
-		services[name] = svc
+		defer tr.Close()
+		opts = append(opts, cluster.WithTransport(tr))
 	}
+	c, err := cluster.New(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
 
 	// Every member joins the same group with the same static membership.
-	for _, name := range members {
-		if err := services[name].Join("chat", members); err != nil {
-			log.Fatal(err)
-		}
+	if err := c.JoinAll("chat"); err != nil {
+		log.Fatal(err)
 	}
 
 	// Print alice's delivery stream; drain the others.
 	done := make(chan struct{})
 	go func() {
-		for i := 0; i < 6; i++ {
-			d := <-services["alice"].Deliveries()
-			fmt.Printf("alice sees #%d  %-8s: %s\n", i+1, d.Origin, d.Payload)
+		alice := c.Member("alice")
+		for i := 0; i < 6; {
+			select {
+			case d := <-alice.Deliveries():
+				i++
+				fmt.Printf("alice sees #%d  %-8s: %s\n", i, d.Origin, d.Payload)
+			case <-alice.Views():
+			}
 		}
 		close(done)
 	}()
 	for _, name := range []string{"bob", "carol"} {
-		svc := services[name]
+		m := c.Member(name)
 		go func() {
 			for {
 				select {
-				case <-svc.Deliveries():
-				case <-svc.Views():
+				case <-m.Deliveries():
+				case <-m.Views():
 				}
 			}
 		}()
 	}
-	go func() {
-		for {
-			<-services["alice"].Views()
-		}
-	}()
 
 	// Symmetric total order: every member delivers these six messages in
 	// the same order, whatever the interleaving of sends.
 	say := func(who, text string) {
-		if err := services[who].Multicast("chat", group.TotalSym, []byte(text)); err != nil {
+		if err := c.Member(who).Multicast("chat", cluster.TotalSym, []byte(text)); err != nil {
 			log.Fatal(err)
 		}
 	}

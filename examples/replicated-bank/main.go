@@ -1,8 +1,14 @@
-// Replicated bank: the full Figure 4 stack. A bank account service is
-// replicated 2f+1 = 3 ways over FS-NewTOP's totally-ordered multicast; a
-// client multicasts requests to the replica group and majority-votes the
-// replies. One replica is Byzantine at the application level — it returns
-// corrupted balances — and the vote masks it.
+// Replicated bank: the full Figure 4 stack on the public API. A bank
+// account service is replicated 2f+1 = 3 ways over FS-NewTOP's
+// totally-ordered multicast; a client multicasts requests to the replica
+// group and majority-votes the replies (package vote). One replica is
+// Byzantine at the application level — it returns corrupted balances —
+// and the vote masks it.
+//
+// The voting layer is application code over the middleware: replicas
+// reply to the client directly over the cluster's transport, which is
+// exactly how the paper's Figure 4 composes the application level over
+// the middleware.
 //
 // Run with: go run ./examples/replicated-bank
 package main
@@ -13,15 +19,11 @@ import (
 	"strings"
 	"time"
 
-	"fsnewtop/internal/clock"
-	"fsnewtop/internal/faults"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
-	"fsnewtop/internal/vote"
+	"fsnewtop/cluster"
+	"fsnewtop/vote"
 )
 
-// bank is the deterministic application state machine: "deposit acct amt",
+// bank implements the account service: "deposit acct amt",
 // "withdraw acct amt", "balance acct".
 func bank() vote.AppMachine {
 	accounts := make(map[string]int)
@@ -44,7 +46,7 @@ func bank() vote.AppMachine {
 			}
 			accounts[acct] -= amt
 		case "balance":
-			// fallthrough to the balance report
+			// fall through to the balance report
 		default:
 			return []byte("err: unknown op")
 		}
@@ -52,55 +54,49 @@ func bank() vote.AppMachine {
 	})
 }
 
+// lying wraps a machine Byzantine-style: after the first request it
+// corrupts every reply.
+func lying(inner vote.AppMachine) vote.AppMachine {
+	n := 0
+	return vote.AppMachineFunc(func(req []byte) []byte {
+		out := inner.Apply(req)
+		n++
+		if n > 1 {
+			return append([]byte("corrupted:"), out...)
+		}
+		return out
+	})
+}
+
 func main() {
 	const f = 1 // tolerate one Byzantine application replica
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
-		Latency: netsim.Fixed(200 * time.Microsecond),
-	}))
-	defer net.Close()
-	fabric := fsnewtop.NewFabric(net, clock.NewReal())
 
 	// Group = 2f+1 replicas + the client (which multicasts but does not
 	// apply requests).
-	members := []string{"client", "replica-0", "replica-1", "replica-2"}
-	services := make(map[string]newtop.Service)
-	for _, name := range members {
-		var peers []string
-		for _, p := range members {
-			if p != name {
-				peers = append(peers, p)
-			}
-		}
-		svc, err := fsnewtop.New(fsnewtop.Config{
-			Name: name, Fabric: fabric, Peers: peers,
-			Delta: 100 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer svc.Close()
-		services[name] = svc
+	c, err := cluster.New(
+		cluster.WithMembers("client", "replica-0", "replica-1", "replica-2"),
+		cluster.WithDelta(100*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, name := range members {
-		if err := services[name].Join("bank", members); err != nil {
-			log.Fatal(err)
-		}
+	defer c.Close()
+	if err := c.JoinAll("bank"); err != nil {
+		log.Fatal(err)
 	}
 
 	// replica-1 is Byzantine: it corrupts every reply after the first.
-	honest0, honest2 := bank(), bank()
-	liarInner := bank()
 	apps := map[string]vote.AppMachine{
-		"replica-0": honest0,
-		"replica-1": &faults.LyingApp{Inner: liarInner.Apply, After: 1},
-		"replica-2": honest2,
+		"replica-0": bank(),
+		"replica-1": lying(bank()),
+		"replica-2": bank(),
 	}
 	for name, app := range apps {
-		r := vote.NewReplica(name, "bank", services[name], app, net)
+		r := vote.NewReplica(name, "bank", c.Member(name), app, c.Transport())
 		defer r.Close()
 	}
-	voter := vote.NewVoter("client", "bank", f, services["client"], net)
-	defer voter.Close()
+	v := vote.NewVoter("client", "bank", f, c.Member("client"), c.Transport())
+	defer v.Close()
 
 	requests := []string{
 		"deposit alice 100",
@@ -111,7 +107,7 @@ func main() {
 		"balance bob 0",
 	}
 	for _, req := range requests {
-		result, err := voter.Submit([]byte(req), 30*time.Second)
+		result, err := v.Submit([]byte(req), 30*time.Second)
 		if err != nil {
 			log.Fatalf("request %q: %v", req, err)
 		}

@@ -27,8 +27,8 @@ import (
 
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/codec"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
 )
 
 // Message kinds.
@@ -167,7 +167,7 @@ type Config struct {
 	// F is the fault bound.
 	F int
 	// Net, Clock, Keys are the shared fabric; Signer is this replica's key.
-	Net    *netsim.Network
+	Net    transport.Transport
 	Clock  clock.Clock
 	Keys   *sig.Directory
 	Signer sig.Signer
@@ -192,7 +192,7 @@ type slot struct {
 type Replica struct {
 	cfg     Config
 	n       int
-	addr    netsim.Addr
+	addr    transport.Addr
 	stopped chan struct{}
 
 	mu        sync.Mutex
@@ -208,7 +208,7 @@ type Replica struct {
 }
 
 // Addr returns the network address of a replica by name.
-func Addr(name string) netsim.Addr { return netsim.Addr("bft:" + name) }
+func Addr(name string) transport.Addr { return transport.Addr("bft:" + name) }
 
 // NewReplica starts a replica.
 func NewReplica(cfg Config) (*Replica, error) {
@@ -309,7 +309,7 @@ func (r *Replica) verify(payload []byte) (string, []byte, bool) {
 	return "", nil, false
 }
 
-func (r *Replica) onMessage(msg netsim.Message) {
+func (r *Replica) onMessage(msg transport.Message) {
 	switch msg.Kind {
 	case MsgRequest:
 		r.onRequest(msg.Payload)
@@ -511,7 +511,7 @@ func (r *Replica) executeReadyLocked() {
 				r.mu.Lock()
 			}
 			reply := Reply{Client: req.Client, ID: req.ID, Seq: seq, Replica: r.cfg.Self}
-			_ = r.cfg.Net.Send(r.addr, netsim.Addr("bftclient:"+req.Client), MsgReply, reply.Marshal())
+			_ = r.cfg.Net.Send(r.addr, transport.Addr("bftclient:"+req.Client), MsgReply, reply.Marshal())
 		}
 	}
 }

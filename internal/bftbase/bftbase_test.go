@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport/netsim"
 )
 
 type harness struct {

@@ -5,8 +5,8 @@ import (
 	"sync"
 	"time"
 
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
 )
 
 // Client submits signed requests to all replicas and waits for f+1
@@ -15,9 +15,9 @@ type Client struct {
 	name     string
 	f        int
 	replicas []string
-	net      *netsim.Network
+	net      transport.Transport
 	signer   sig.Signer
-	addr     netsim.Addr
+	addr     transport.Addr
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -31,21 +31,21 @@ type waiting struct {
 }
 
 // NewClient registers a BFT client endpoint.
-func NewClient(name string, f int, replicas []string, net *netsim.Network, signer sig.Signer) *Client {
+func NewClient(name string, f int, replicas []string, net transport.Transport, signer sig.Signer) *Client {
 	c := &Client{
 		name:     name,
 		f:        f,
 		replicas: append([]string(nil), replicas...),
 		net:      net,
 		signer:   signer,
-		addr:     netsim.Addr("bftclient:" + name),
+		addr:     transport.Addr("bftclient:" + name),
 		pending:  make(map[uint64]*waiting),
 	}
 	net.Register(c.addr, c.onMessage)
 	return c
 }
 
-func (c *Client) onMessage(msg netsim.Message) {
+func (c *Client) onMessage(msg transport.Message) {
 	if msg.Kind != MsgReply {
 		return
 	}

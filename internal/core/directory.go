@@ -5,8 +5,8 @@ import (
 	"sort"
 	"sync"
 
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
 )
 
 // ProcKind distinguishes fail-signal processes from plain endpoints.
@@ -28,7 +28,7 @@ type ProcInfo struct {
 	Kind ProcKind
 	// Addrs holds the network addresses: for KindFS, [leader, follower];
 	// for KindPlain, Addrs[0] only.
-	Addrs [2]netsim.Addr
+	Addrs [2]transport.Addr
 	// CompareIDs are the signing identities of the two Compare threads
 	// (KindFS only), [leader, follower].
 	CompareIDs [2]sig.ID
@@ -47,18 +47,18 @@ type Directory struct {
 func NewDirectory() *Directory { return &Directory{} }
 
 // RegisterFS records a fail-signal process.
-func (d *Directory) RegisterFS(name string, leader, follower netsim.Addr, leaderID, followerID sig.ID) {
+func (d *Directory) RegisterFS(name string, leader, follower transport.Addr, leaderID, followerID sig.ID) {
 	d.register(ProcInfo{
 		Name:       name,
 		Kind:       KindFS,
-		Addrs:      [2]netsim.Addr{leader, follower},
+		Addrs:      [2]transport.Addr{leader, follower},
 		CompareIDs: [2]sig.ID{leaderID, followerID},
 	})
 }
 
 // RegisterPlain records an ordinary endpoint.
-func (d *Directory) RegisterPlain(name string, addr netsim.Addr) {
-	d.register(ProcInfo{Name: name, Kind: KindPlain, Addrs: [2]netsim.Addr{addr}})
+func (d *Directory) RegisterPlain(name string, addr transport.Addr) {
+	d.register(ProcInfo{Name: name, Kind: KindPlain, Addrs: [2]transport.Addr{addr}})
 }
 
 func (d *Directory) register(p ProcInfo) {
@@ -95,15 +95,15 @@ func (d *Directory) Names() []string {
 
 // DestAddrs returns the network addresses a message to name must be sent
 // to: both replicas for an FS process, the single address otherwise.
-func (d *Directory) DestAddrs(name string) ([]netsim.Addr, error) {
+func (d *Directory) DestAddrs(name string) ([]transport.Addr, error) {
 	p, err := d.Lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	if p.Kind == KindFS {
-		return []netsim.Addr{p.Addrs[0], p.Addrs[1]}, nil
+		return []transport.Addr{p.Addrs[0], p.Addrs[1]}, nil
 	}
-	return []netsim.Addr{p.Addrs[0]}, nil
+	return []transport.Addr{p.Addrs[0]}, nil
 }
 
 // VerifyFromFS checks that dbl is a valid double-signed message from the

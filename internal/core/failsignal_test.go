@@ -8,9 +8,9 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport/netsim"
 )
 
 // echoMachine is a deterministic machine: for every input of kind "req" it

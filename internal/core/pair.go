@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport"
 )
 
 // PairConfig configures the construction of one fail-signal process.
@@ -20,7 +20,7 @@ type PairConfig struct {
 	// It is called twice; the two instances must satisfy R1.
 	NewMachine func() sm.Machine
 	// Net carries both the pair's synchronous link and external traffic.
-	Net *netsim.Network
+	Net transport.Transport
 	// Clock drives all timeouts.
 	Clock clock.Clock
 	// Dir is the deployment directory; the pair registers itself in it.
@@ -47,16 +47,16 @@ type PairConfig struct {
 	Watchers  []string
 	// SyncLink, if non-nil, is applied as the netsim profile of the
 	// leader↔follower link (the A2 synchronous LAN).
-	SyncLink *netsim.Profile
+	SyncLink *transport.Profile
 	// OnFailSignal: see ReplicaConfig.
 	OnFailSignal func(reason string)
 }
 
 // LeaderAddr returns the network address of the pair's leader FSO.
-func LeaderAddr(name string) netsim.Addr { return netsim.Addr(name + "#L") }
+func LeaderAddr(name string) transport.Addr { return transport.Addr(name + "#L") }
 
 // FollowerAddr returns the network address of the pair's follower FSO.
-func FollowerAddr(name string) netsim.Addr { return netsim.Addr(name + "#F") }
+func FollowerAddr(name string) transport.Addr { return transport.Addr(name + "#F") }
 
 // LeaderID returns the signing identity of the pair's leader Compare.
 func LeaderID(name string) sig.ID { return sig.ID(name + "#L") }
@@ -125,7 +125,10 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	lAddr, fAddr := LeaderAddr(cfg.Name), FollowerAddr(cfg.Name)
 	cfg.Dir.RegisterFS(cfg.Name, lAddr, fAddr, LeaderID(cfg.Name), FollowerID(cfg.Name))
 	if cfg.SyncLink != nil {
-		cfg.Net.SetLinkProfile(lAddr, fAddr, *cfg.SyncLink)
+		// Shaping the pair's synchronous link is a simulation concern: on a
+		// fault-injecting transport it models the A2 LAN; on a real network
+		// the LAN is whatever the wire provides, so the request is ignored.
+		transport.Shape(cfg.Net, lAddr, fAddr, *cfg.SyncLink)
 	}
 
 	base := ReplicaConfig{
@@ -192,9 +195,9 @@ func (p *Pair) Failed() bool { return p.Leader.Failed() || p.Follower.Failed() }
 // copies that dual submission produces.
 type Client struct {
 	name   string
-	addr   netsim.Addr
+	addr   transport.Addr
 	signer sig.Signer
-	net    *netsim.Network
+	net    transport.Transport
 	dir    *Directory
 
 	mu  sync.Mutex
@@ -204,7 +207,7 @@ type Client struct {
 // NewClient registers (if needed) and returns a client identity. The
 // client's signer must already be registered in the verifier used by the
 // destination replicas.
-func NewClient(name string, addr netsim.Addr, signer sig.Signer, net *netsim.Network, dir *Directory) *Client {
+func NewClient(name string, addr transport.Addr, signer sig.Signer, net transport.Transport, dir *Directory) *Client {
 	return &Client{name: name, addr: addr, signer: signer, net: net, dir: dir}
 }
 
@@ -261,7 +264,7 @@ func NewReceiver(dir *Directory, verifier sig.Verifier, onOutput func(string, sm
 }
 
 // Handle is the netsim handler for the receiving endpoint.
-func (rc *Receiver) Handle(msg netsim.Message) {
+func (rc *Receiver) Handle(msg transport.Message) {
 	if msg.Kind != MsgOut && msg.Kind != MsgNew {
 		return
 	}

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport"
 )
 
 // Role distinguishes the two FSOs of a pair. The leader decides input
@@ -49,9 +49,9 @@ type ReplicaConfig struct {
 	Role Role
 	// Self and Peer are the network addresses of this replica and its
 	// counterpart. The Self↔Peer link is the synchronous LAN of A2.
-	Self, Peer netsim.Addr
+	Self, Peer transport.Addr
 	// Net is the network carrying both the sync link and external traffic.
-	Net *netsim.Network
+	Net transport.Transport
 	// Clock drives all timeouts.
 	Clock clock.Clock
 	// Dir resolves logical destinations and verifies FS sources.
@@ -229,7 +229,7 @@ func (r *Replica) InjectFailSignal() { r.failSignal("injected (fs2)") }
 // node, not a vanished one). Its peer detects the silence via comparison
 // timeouts and fail-signals on the pair's behalf.
 func (r *Replica) Crash() {
-	r.cfg.Net.Register(r.cfg.Self, func(netsim.Message) {})
+	r.cfg.Net.Register(r.cfg.Self, func(transport.Message) {})
 	r.shutdown()
 }
 
@@ -264,7 +264,7 @@ func (r *Replica) shutdown() {
 
 // handle dispatches inbound network messages. It runs on netsim link
 // goroutines and must not block.
-func (r *Replica) handle(msg netsim.Message) {
+func (r *Replica) handle(msg transport.Message) {
 	switch msg.Kind {
 	case MsgNew, MsgOut:
 		r.onNew(msg)
@@ -300,7 +300,7 @@ func (r *Replica) verifyPayload(p newPayload) error {
 
 // onNew handles an external input (receiveNew), including inputs the
 // leader receives back from its follower as relays after t1.
-func (r *Replica) onNew(msg netsim.Message) {
+func (r *Replica) onNew(msg transport.Message) {
 	if r.replyIfFailed(msg.From) {
 		return
 	}
@@ -429,7 +429,7 @@ func (r *Replica) relayLoop() {
 // (receiveDouble). The follower re-verifies authenticity — by A5 a faulty
 // leader cannot forge client or FS signatures — checks order-index
 // continuity, cancels any pending IRMP escalation, and submits the input.
-func (r *Replica) onFwd(msg netsim.Message) {
+func (r *Replica) onFwd(msg transport.Message) {
 	if r.replyIfFailed(msg.From) {
 		return
 	}
@@ -635,7 +635,7 @@ func (r *Replica) watchFired(w *watch) {
 // onSingle implements the Compare receive side: a single-signed candidate
 // from the remote Compare is matched against the local ICMP or pooled in
 // the ECMP.
-func (r *Replica) onSingle(msg netsim.Message) {
+func (r *Replica) onSingle(msg transport.Message) {
 	if msg.From != r.cfg.Peer {
 		r.countRejected()
 		return
@@ -783,7 +783,7 @@ func (r *Replica) failSignal(reason string) {
 
 // replyIfFailed answers an incoming message with the fail-signal when the
 // replica has already failed. Reports whether the caller should stop.
-func (r *Replica) replyIfFailed(from netsim.Addr) bool {
+func (r *Replica) replyIfFailed(from transport.Addr) bool {
 	r.mu.Lock()
 	if !r.failed {
 		done := r.closed

@@ -31,11 +31,11 @@ import (
 	"fsnewtop/internal/clock"
 	failsignal "fsnewtop/internal/core"
 	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/newtop"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport"
 )
 
 // NodesRequired returns the node count FS-NewTOP needs to mask f Byzantine
@@ -54,7 +54,7 @@ func ReplicasRequired(f int) int { return 2*f + 1 }
 // Fabric is the shared deployment substrate for an FS-NewTOP cluster: one
 // per test/benchmark/example deployment.
 type Fabric struct {
-	Net    *netsim.Network
+	Net    transport.Transport
 	Naming *orb.Naming
 	Clock  clock.Clock
 	Dir    *failsignal.Directory
@@ -75,7 +75,7 @@ type Fabric struct {
 // never crosses a node boundary the real deployment would have to pay:
 // the in-process figures stay faithful to the paper's per-node crypto
 // cost.
-func NewFabric(net *netsim.Network, clk clock.Clock) *Fabric {
+func NewFabric(net transport.Transport, clk clock.Clock) *Fabric {
 	return &Fabric{
 		Net:    net,
 		Naming: orb.NewNaming(),
@@ -151,7 +151,7 @@ type Config struct {
 	// TickInterval paces the leader's ordered tick stream. 0 = 20ms.
 	TickInterval time.Duration
 	// SyncLink, if non-nil, is applied to the pair's leader↔follower link.
-	SyncLink *netsim.Profile
+	SyncLink *transport.Profile
 	// PoolSize is the invocation-side ORB pool size (0 = default 10).
 	PoolSize int
 	// GC tunes the protocol machine. Self and Mode are set here.
@@ -179,6 +179,12 @@ var _ newtop.Service = (*NSO)(nil)
 
 // invName returns the logical name of a member's invocation endpoint.
 func invName(member string) string { return member + "/inv" }
+
+// InvAddr returns the transport address of a member's invocation-layer
+// endpoint (the application-node process that receives the pair's
+// double-signed outputs). Deployment tooling uses it to enumerate every
+// address a member occupies on the wire.
+func InvAddr(member string) transport.Addr { return transport.Addr("addr:" + invName(member)) }
 
 // New builds and starts one FS-NewTOP member: the FS pair wrapping its GC
 // machine, the invocation-layer endpoint, and the interceptor that
@@ -228,7 +234,7 @@ func New(cfg Config) (*NSO, error) {
 	// Invocation-layer endpoint: a plain process in the FS directory that
 	// receives the pair's double-signed outputs.
 	inv := invName(cfg.Name)
-	invAddr := netsim.Addr("addr:" + inv)
+	invAddr := InvAddr(cfg.Name)
 	// The invocation layer runs on the application node: its own memo.
 	receiver := failsignal.NewReceiver(fab.Dir, newVerifier(), n.onOutput, n.onFailSignal)
 	fab.Net.Register(invAddr, receiver.Handle)

@@ -9,9 +9,10 @@ import (
 
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/newtop"
 	"fsnewtop/internal/sig"
+	"fsnewtop/transport"
+	"fsnewtop/transport/netsim"
 )
 
 // collector drains a member's channels.
@@ -319,7 +320,7 @@ func TestFSNewTOPNoSplitUnderDelay(t *testing.T) {
 	}
 	for _, a := range addrs("m00") {
 		for _, b := range addrs("m01") {
-			c.fab.Net.SetLinkProfile(a, b, netsim.Profile{Latency: netsim.Fixed(200 * time.Millisecond)})
+			transport.Shape(c.fab.Net, a, b, netsim.Profile{Latency: netsim.Fixed(200 * time.Millisecond)})
 		}
 	}
 	time.Sleep(500 * time.Millisecond)

@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport/netsim"
 )
 
 // driverCluster runs real Drivers over netsim: the crash-NewTOP deployment

@@ -25,9 +25,9 @@ import (
 
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sm"
+	"fsnewtop/transport"
 )
 
 // Delivery is one message handed to the application.
@@ -73,7 +73,7 @@ type Config struct {
 	// "<name>/gc".
 	Name string
 	// Net and Naming are the shared deployment fabric.
-	Net    *netsim.Network
+	Net    transport.Transport
 	Naming *orb.Naming
 	// Clock drives timers.
 	Clock clock.Clock
@@ -101,7 +101,7 @@ type NSO struct {
 var _ Service = (*NSO)(nil)
 
 // NodeAddr returns the network address of a member's node.
-func NodeAddr(name string) netsim.Addr { return netsim.Addr("node:" + name) }
+func NodeAddr(name string) transport.Addr { return transport.Addr("node:" + name) }
 
 // GCRef returns the ORB object reference of a member's GC service.
 func GCRef(name string) orb.ObjectRef { return orb.ObjectRef(name + "/gc") }

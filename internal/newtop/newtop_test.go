@@ -9,8 +9,8 @@ import (
 
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
 	"fsnewtop/internal/orb"
+	"fsnewtop/transport/netsim"
 )
 
 // collector drains a member's delivery and view channels.

@@ -26,7 +26,7 @@ import (
 	"time"
 
 	"fsnewtop/internal/codec"
-	"fsnewtop/internal/netsim"
+	"fsnewtop/transport"
 )
 
 // Any is the generic value container (CORBA any): a self-contained gob
@@ -113,35 +113,37 @@ type Interceptor func(next Handler) Handler
 // is ready.
 type Naming struct {
 	mu    sync.RWMutex
-	where map[ObjectRef]netsim.Addr
+	where map[ObjectRef]transport.Addr
 }
 
 // NewNaming returns an empty naming service.
 func NewNaming() *Naming { return &Naming{} }
 
 // Bind records that ref is served by the ORB at addr.
-func (n *Naming) Bind(ref ObjectRef, addr netsim.Addr) {
+func (n *Naming) Bind(ref ObjectRef, addr transport.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.where == nil {
-		n.where = make(map[ObjectRef]netsim.Addr)
+		n.where = make(map[ObjectRef]transport.Addr)
 	}
 	n.where[ref] = addr
 }
 
 // Resolve finds the ORB address serving ref.
-func (n *Naming) Resolve(ref ObjectRef) (netsim.Addr, bool) {
+func (n *Naming) Resolve(ref ObjectRef) (transport.Addr, bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	a, ok := n.where[ref]
 	return a, ok
 }
 
-// Errors returned by invocation.
+// Errors returned by invocation. Timeout and closed wrap the transport
+// error taxonomy, so errors.Is(err, transport.ErrTimeout) and
+// errors.Is(err, transport.ErrClosed) hold across the whole stack.
 var (
-	ErrNoSuchObject = errors.New("orb: object not found")
-	ErrTimeout      = errors.New("orb: invocation timed out")
-	ErrClosed       = errors.New("orb: ORB closed")
+	ErrNoSuchObject = fmt.Errorf("orb: object not found: %w", transport.ErrUnknownAddr)
+	ErrTimeout      = fmt.Errorf("orb: invocation timed out: %w", transport.ErrTimeout)
+	ErrClosed       = fmt.Errorf("orb: ORB closed: %w", transport.ErrClosed)
 )
 
 // DefaultPoolSize is the server request pool size used by the paper's
@@ -151,9 +153,9 @@ const DefaultPoolSize = 10
 // Config configures an ORB.
 type Config struct {
 	// Addr is this ORB's network endpoint (one per node).
-	Addr netsim.Addr
+	Addr transport.Addr
 	// Net is the shared network.
-	Net *netsim.Network
+	Net transport.Transport
 	// Naming is the shared naming service.
 	Naming *Naming
 	// PoolSize bounds concurrent server-side request processing.
@@ -335,7 +337,7 @@ const (
 // onMessage handles inbound ORB traffic. Requests are queued to the worker
 // pool — the paper's "thread pool ... to handle incoming requests" — so at
 // most PoolSize requests are processed concurrently per node.
-func (o *ORB) onMessage(msg netsim.Message) {
+func (o *ORB) onMessage(msg transport.Message) {
 	switch msg.Kind {
 	case msgRequest:
 		id, req, err := decodeRequest(msg.Payload)

@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
-	"fsnewtop/internal/netsim"
+	"fsnewtop/transport/netsim"
 )
 
 func testNet(t *testing.T) *netsim.Network {

@@ -1,0 +1,26 @@
+package netsim_test
+
+import (
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+	"fsnewtop/transport"
+	"fsnewtop/transport/netsim"
+	"fsnewtop/transport/transporttest"
+)
+
+// TestConformance runs the transport-plane contract against the simulator.
+// One Network serves every endpoint; a small fixed latency keeps delivery
+// genuinely asynchronous so ordering is earned, not accidental.
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Deployment {
+		net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{
+			Latency: netsim.Fixed(50 * time.Microsecond),
+		}))
+		return &transporttest.Deployment{
+			Endpoint: func(int) transport.Transport { return net },
+			Close:    net.Close,
+		}
+	})
+}

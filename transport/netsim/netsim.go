@@ -1,5 +1,5 @@
-// Package netsim is the communication substrate for every protocol in this
-// repository. It provides an in-process message-passing network whose links
+// Package netsim is the simulated backend of the transport plane (package
+// transport). It provides an in-process message-passing network whose links
 // model the two network classes the paper assumes:
 //
 //   - the synchronous LAN connecting the two nodes of a fail-signal pair
@@ -34,111 +34,56 @@
 package netsim
 
 import (
-	"errors"
 	"fmt"
 
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"fsnewtop/internal/clock"
+	"fsnewtop/transport"
 )
 
-// Addr identifies a network endpoint (one node-resident process).
-type Addr string
+// The wire-level vocabulary is the transport plane's; the aliases keep
+// netsim-local call sites (and two decades of test code) reading
+// naturally while guaranteeing the types are interchangeable.
+type (
+	// Addr identifies a network endpoint (one node-resident process).
+	Addr = transport.Addr
+	// Message is the unit of delivery.
+	Message = transport.Message
+	// Handler receives delivered messages on the delivering shard's
+	// dispatcher goroutine.
+	Handler = transport.Handler
+	// Profile describes one direction of a link.
+	Profile = transport.Profile
+	// LatencyModel produces per-message propagation delays.
+	LatencyModel = transport.LatencyModel
+	// Fixed is a constant-delay latency model.
+	Fixed = transport.Fixed
+	// Uniform draws delays uniformly from [Min, Max].
+	Uniform = transport.Uniform
+	// Normal draws delays from a normal distribution truncated at zero.
+	Normal = transport.Normal
+	// Stats aggregates network-wide counters.
+	Stats = transport.Stats
+)
 
-// Message is the unit of delivery.
-type Message struct {
-	From    Addr
-	To      Addr
-	Kind    string // protocol-defined tag, e.g. "fs.receiveNew"
-	Payload []byte
-}
+// ErrUnknownAddr is returned when sending to or from an unregistered
+// address. It wraps transport.ErrUnknownAddr.
+var ErrUnknownAddr = fmt.Errorf("netsim: %w", transport.ErrUnknownAddr)
 
-// Handler receives delivered messages. Handlers run on the delivering
-// shard's dispatcher goroutine: they must be quick and must not block on
-// the network (sending more messages is fine — sends never block).
-type Handler func(Message)
+// ErrClosed is returned when sending on a closed network. It wraps
+// transport.ErrClosed.
+var ErrClosed = fmt.Errorf("netsim: %w", transport.ErrClosed)
 
-// LatencyModel produces per-message propagation delays.
-type LatencyModel interface {
-	// Delay returns the next propagation delay. r is a private, seeded
-	// source; models must use it (and nothing else) for randomness so that
-	// runs are reproducible.
-	Delay(r *rand.Rand) time.Duration
-}
-
-// Fixed is a constant-delay latency model.
-type Fixed time.Duration
-
-// Delay implements LatencyModel.
-func (f Fixed) Delay(*rand.Rand) time.Duration { return time.Duration(f) }
-
-// Uniform draws delays uniformly from [Min, Max].
-type Uniform struct {
-	Min, Max time.Duration
-}
-
-// Delay implements LatencyModel.
-func (u Uniform) Delay(r *rand.Rand) time.Duration {
-	if u.Max <= u.Min {
-		return u.Min
-	}
-	return u.Min + time.Duration(r.Int63n(int64(u.Max-u.Min)+1))
-}
-
-// Normal draws delays from a normal distribution truncated at zero.
-type Normal struct {
-	Mean, StdDev time.Duration
-}
-
-// Delay implements LatencyModel.
-func (n Normal) Delay(r *rand.Rand) time.Duration {
-	d := time.Duration(r.NormFloat64()*float64(n.StdDev)) + n.Mean
-	if d < 0 {
-		return 0
-	}
-	return d
-}
-
-// Profile describes one direction of a link.
-type Profile struct {
-	// Latency is the propagation-delay model. nil means zero latency.
-	Latency LatencyModel
-	// BytesPerSecond is the serialization bandwidth. Zero means infinite.
-	BytesPerSecond int64
-	// Loss is the probability in [0,1] that a message is silently dropped.
-	Loss float64
-}
-
-// delayFor computes the total delivery delay for a message of n bytes.
-func (p Profile) delayFor(n int, r *rand.Rand) time.Duration {
-	var d time.Duration
-	if p.Latency != nil {
-		d = p.Latency.Delay(r)
-	}
-	if p.BytesPerSecond > 0 {
-		d += time.Duration(float64(n) / float64(p.BytesPerSecond) * float64(time.Second))
-	}
-	return d
-}
-
-// Stats aggregates network-wide counters.
-type Stats struct {
-	Sent      uint64 // messages handed to Send
-	Delivered uint64 // messages delivered to handlers
-	Dropped   uint64 // lost to the Loss model
-	Blocked   uint64 // suppressed by a partition
-	Bytes     uint64 // payload bytes sent
-}
-
-// ErrUnknownAddr is returned when sending to or from an unregistered address.
-var ErrUnknownAddr = errors.New("netsim: unknown address")
-
-// ErrClosed is returned when sending on a closed network.
-var ErrClosed = errors.New("netsim: network closed")
+// Network implements the full transport plane, fault injection and
+// accounting included.
+var (
+	_ transport.Transport     = (*Network)(nil)
+	_ transport.FaultInjector = (*Network)(nil)
+	_ transport.StatsSource   = (*Network)(nil)
+)
 
 type linkKey struct{ from, to Addr }
 
@@ -392,7 +337,7 @@ func (n *Network) Send(from, to Addr, kind string, payload []byte) error {
 		sh.dropped.Add(1)
 		return nil
 	}
-	delay := prof.delayFor(len(payload), sh.rng)
+	delay := prof.DelayFor(len(payload), sh.rng)
 	wake := sh.scheduleLocked(key, Message{From: from, To: to, Kind: kind, Payload: payload}, now, delay)
 	sh.mu.Unlock()
 	if wake {

@@ -1,0 +1,35 @@
+package tcpnet_test
+
+import (
+	"testing"
+
+	"fsnewtop/transport"
+	"fsnewtop/transport/tcpnet"
+	"fsnewtop/transport/transporttest"
+)
+
+// TestConformance runs the transport-plane contract against real TCP
+// sockets: four single-process transports on ephemeral loopback ports
+// sharing one address book, exactly how a single-host multi-process
+// deployment is wired.
+func TestConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T) *transporttest.Deployment {
+		book := tcpnet.NewAddrBook()
+		eps := make([]*tcpnet.Transport, 4)
+		for i := range eps {
+			tp, err := tcpnet.New(tcpnet.Config{Book: book})
+			if err != nil {
+				t.Fatalf("tcpnet.New: %v", err)
+			}
+			eps[i] = tp
+		}
+		return &transporttest.Deployment{
+			Endpoint: func(i int) transport.Transport { return eps[i%len(eps)] },
+			Close: func() {
+				for _, tp := range eps {
+					tp.Close()
+				}
+			},
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxQueuedFrames bounds one peer's outbound queue: past it, new frames
+// are dropped (and counted) rather than growing memory without bound
+// while an endpoint is unreachable or reading too slowly. The bound is
+// deliberately generous — a whole benchmark burst fits — because every
+// drop costs a protocol-level resend round trip; the dial backoff
+// already keeps an unreachable endpoint's queue draining (by dropping)
+// faster than dials can stall it.
+const maxQueuedFrames = 1 << 17
+
+// redialBackoff is how long a peer waits after a failed dial before
+// trying again. Without it an unreachable endpoint costs the writer up to
+// two dial timeouts per queued frame, draining at a fraction of a frame
+// per second while the queue piles up.
+const redialBackoff = time.Second
+
+// peer owns the outbound side of one remote endpoint: a FIFO frame queue
+// drained by a single writer goroutine over one lazily-dialed TCP
+// connection. Serializing every link to that endpoint through one writer
+// plus TCP's in-order bytes is what gives tcpnet per-link FIFO delivery.
+type peer struct {
+	t        *Transport
+	hostport string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	seq      uint64 // last sequence number stamped, guarded by mu
+	closed   bool
+	nextDial time.Time // dials suppressed until then, guarded by mu
+
+	conn net.Conn // writer-goroutine private once dialed
+}
+
+func newPeer(t *Transport, hostport string) *peer {
+	p := &peer{t: t, hostport: hostport}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// enqueue appends one encoded frame; it never blocks on the network. The
+// frame's sequence number is stamped here, under the queue lock, so seq
+// order equals wire order: the receiver relies on that to discard frames
+// replayed out of order across a reconnect.
+func (p *peer) enqueue(frame []byte) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if len(p.queue) >= maxQueuedFrames {
+		p.mu.Unlock()
+		p.t.dropped.Add(1) // endpoint unreachable or drowning: shed load
+		return
+	}
+	p.seq++
+	binary.BigEndian.PutUint64(frame[seqOffset:], p.seq)
+	p.queue = append(p.queue, frame)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// stop wakes the writer for shutdown and severs the connection so a
+// blocked write returns.
+func (p *peer) stop() {
+	p.mu.Lock()
+	p.closed = true
+	conn := p.conn
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	p.cond.Broadcast()
+}
+
+// run is the writer loop: drain queued frames in order, dialing (and
+// re-dialing after a failure) on demand. A frame that cannot be written
+// even after one fresh redial is dropped and counted; the layers above
+// already tolerate the asynchronous network's losses via resends.
+func (p *peer) run() {
+	defer p.t.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+
+		for _, frame := range batch {
+			if !p.writeFrame(frame) {
+				p.t.dropped.Add(1)
+			}
+		}
+	}
+}
+
+// writeFrame writes one frame, reconnecting on send: a stale/broken
+// connection gets exactly one fresh redial before the frame is declared
+// lost.
+func (p *peer) writeFrame(frame []byte) bool {
+	for attempt := 0; attempt < 2; attempt++ {
+		conn := p.ensureConn(attempt > 0)
+		if conn == nil {
+			continue
+		}
+		if _, err := conn.Write(frame); err == nil {
+			return true
+		}
+		p.dropConn(conn)
+	}
+	return false
+}
+
+// ensureConn returns the live connection, dialing if absent. fresh forces
+// a redial even if a connection exists (it just failed). Dials are
+// suppressed for redialBackoff after a failure so an unreachable endpoint
+// sheds its queue quickly instead of serializing dial timeouts.
+func (p *peer) ensureConn(fresh bool) net.Conn {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	conn := p.conn
+	backingOff := time.Now().Before(p.nextDial)
+	p.mu.Unlock()
+	if conn != nil && !fresh {
+		return conn
+	}
+	if conn != nil {
+		p.dropConn(conn)
+	}
+	if backingOff {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", p.hostport, p.t.dialTimeout)
+	if err != nil {
+		p.mu.Lock()
+		p.nextDial = time.Now().Add(redialBackoff)
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	p.conn = c
+	p.nextDial = time.Time{}
+	p.mu.Unlock()
+	return c
+}
+
+// dropConn closes and forgets a failed connection.
+func (p *peer) dropConn(conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	if p.conn == conn {
+		p.conn = nil
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,579 @@
+// Package tcpnet is the real-network backend of the transport plane: TCP
+// sockets with length-prefixed binary framing. It is what lets the
+// protocol stack — written against package transport and tested for years
+// over the in-process simulator — run at hardware speed, across processes
+// and across machines, without touching a line of protocol code.
+//
+// # Model
+//
+// One Transport instance represents one OS process: it owns one listening
+// socket and serves every transport.Addr registered on it. Address
+// resolution is explicit: an AddrBook maps logical addresses to host:port
+// endpoints. Within one process (tests, single-host deployments) the book
+// is shared between Transport instances and registration keeps it current
+// automatically; across processes each side seeds its book with the
+// remote endpoints it must reach (see Config.Peers).
+//
+// # Ordering and reconnection
+//
+// All traffic from this process to one remote endpoint is serialized
+// through a single writer goroutine and one TCP connection, so per-link
+// (From,To) FIFO — the ordering the Order protocol of internal/core
+// depends on — follows from TCP's in-order bytes. Connections are dialed
+// lazily and re-dialed on send after a failure. Around a reconnect the
+// receiver may briefly read the broken and the fresh connection
+// concurrently; every frame carries the sender's incarnation epoch and a
+// sequence number stamped in enqueue order, and the receiver drops
+// anything at or below the last seq it delivered for that sender
+// incarnation, so within one incarnation the race degrades to message
+// loss (the asynchronous-network model the paper assumes makes the
+// layers above resilient to loss) — never to reordering or duplication.
+// A restarted sender carries a fresh epoch with its own watermark, so
+// sequence numbers legitimately restarting are never mistaken for
+// replays; ordering ACROSS incarnations is deliberately not promised (a
+// dead incarnation's last buffered frames may surface after the new
+// incarnation's first ones — indistinguishable, without a handshake,
+// from ordinary network delay, and the group layers above resolve
+// restarts through view changes, not wire order).
+//
+// Fault injection is deliberately not implemented: a real network cannot
+// fake partitions. Callers discover that via the transport capability
+// interfaces — tcpnet implements transport.StatsSource but not
+// transport.FaultInjector.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsnewtop/internal/codec"
+	"fsnewtop/transport"
+)
+
+// AddrBook maps logical transport addresses to TCP host:port endpoints.
+// It is safe for concurrent use; the zero value is not ready — use
+// NewAddrBook. One book is shared by every Transport of a deployment that
+// lives in the same process.
+type AddrBook struct {
+	mu sync.RWMutex
+	m  map[transport.Addr]string
+}
+
+// NewAddrBook returns an empty address book.
+func NewAddrBook() *AddrBook {
+	return &AddrBook{m: make(map[transport.Addr]string)}
+}
+
+// Set records that addr is served by the process listening at hostport.
+func (b *AddrBook) Set(addr transport.Addr, hostport string) {
+	b.mu.Lock()
+	b.m[addr] = hostport
+	b.mu.Unlock()
+}
+
+// SetAll records a batch of addresses served by hostport (deployment
+// bootstrap: seed the remote half of the book before starting traffic).
+func (b *AddrBook) SetAll(hostport string, addrs ...transport.Addr) {
+	b.mu.Lock()
+	for _, a := range addrs {
+		b.m[a] = hostport
+	}
+	b.mu.Unlock()
+}
+
+// Lookup resolves addr to its endpoint.
+func (b *AddrBook) Lookup(addr transport.Addr) (string, bool) {
+	b.mu.RLock()
+	hp, ok := b.m[addr]
+	b.mu.RUnlock()
+	return hp, ok
+}
+
+// deleteOwned removes addr only while it still resolves to hostport, so a
+// process deregistering a name cannot clobber a re-registration by
+// another process.
+func (b *AddrBook) deleteOwned(addr transport.Addr, hostport string) {
+	b.mu.Lock()
+	if b.m[addr] == hostport {
+		delete(b.m, addr)
+	}
+	b.mu.Unlock()
+}
+
+// Config configures one process's Transport.
+type Config struct {
+	// Listen is the TCP listen address. Empty selects an ephemeral
+	// loopback port ("127.0.0.1:0") — the right default for tests and
+	// single-host deployments.
+	Listen string
+	// Advertise is the endpoint other processes dial to reach addresses
+	// registered here. Empty selects the actual listen address (correct
+	// unless this process sits behind NAT or binds 0.0.0.0).
+	Advertise string
+	// Book is the deployment's address book. Nil creates a private book
+	// (single-Transport loopback deployments).
+	Book *AddrBook
+	// Peers seeds the book with remote endpoints: address → host:port.
+	// Equivalent to calling Book.Set for each entry before first use.
+	Peers map[transport.Addr]string
+	// DialTimeout bounds each connection attempt. Zero means 2s.
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes. Zero means 16 MiB.
+	MaxFrame int
+}
+
+// Transport is a TCP-backed transport.Transport for one process.
+type Transport struct {
+	book        *AddrBook
+	advertise   string
+	ln          net.Listener
+	dialTimeout time.Duration
+	maxFrame    int
+	// epoch identifies this Transport incarnation on the wire (its start
+	// time): receivers use it to tell a restarted sender (sequence
+	// numbers legitimately restarting) from a reconnect replay.
+	epoch uint64
+
+	mu       sync.Mutex
+	handlers map[transport.Addr]transport.Handler
+	peers    map[string]*peer
+	inbound  map[net.Conn]struct{}
+
+	// links holds one inbound dispatch queue per (From,To) link. Each
+	// queue delivers on its own goroutine, so per-link FIFO is preserved
+	// while one slow or briefly-blocking handler cannot stall unrelated
+	// links — the same isolation netsim's sharded dispatcher gives, and
+	// what keeps a single-process multi-member deployment (where every
+	// link funnels through one readLoop) free of cross-link head-of-line
+	// wedges. The queue also carries the link's replay watermarks: frames
+	// carry a sequence number stamped in the sender's enqueue order, and
+	// anything at or below the last delivered seq for its incarnation is
+	// dropped as stale, so the reconnect race (broken and fresh
+	// connections read concurrently) degrades to loss, never reorder or
+	// duplication.
+	linksMu sync.Mutex
+	links   map[linkKey]*linkQueue
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	sent, delivered, dropped, bytes atomic.Uint64
+}
+
+var (
+	_ transport.Transport   = (*Transport)(nil)
+	_ transport.StatsSource = (*Transport)(nil)
+)
+
+// ErrClosed is returned when sending on a closed transport. It wraps
+// transport.ErrClosed.
+var ErrClosed = fmt.Errorf("tcpnet: %w", transport.ErrClosed)
+
+// ErrUnknownAddr is returned when the destination does not resolve in the
+// address book. It wraps transport.ErrUnknownAddr.
+var ErrUnknownAddr = fmt.Errorf("tcpnet: %w", transport.ErrUnknownAddr)
+
+// New starts a Transport: it binds the listener and begins accepting.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
+	}
+	t := &Transport{
+		book:        cfg.Book,
+		advertise:   cfg.Advertise,
+		ln:          ln,
+		dialTimeout: cfg.DialTimeout,
+		maxFrame:    cfg.MaxFrame,
+		epoch:       uint64(time.Now().UnixNano()),
+		handlers:    make(map[transport.Addr]transport.Handler),
+		peers:       make(map[string]*peer),
+		inbound:     make(map[net.Conn]struct{}),
+		links:       make(map[linkKey]*linkQueue),
+	}
+	if t.book == nil {
+		t.book = NewAddrBook()
+	}
+	if t.advertise == "" {
+		t.advertise = ln.Addr().String()
+	}
+	if t.dialTimeout == 0 {
+		t.dialTimeout = 2 * time.Second
+	}
+	if t.maxFrame == 0 {
+		t.maxFrame = 16 << 20
+	}
+	for a, hp := range cfg.Peers {
+		t.book.Set(a, hp)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Endpoint returns the host:port other processes dial to reach this
+// Transport (the advertise address).
+func (t *Transport) Endpoint() string { return t.advertise }
+
+// Register implements transport.Transport: it attaches the handler and
+// publishes addr → this process in the address book. Registering on a
+// closed transport is a no-op: publishing a dead listener into a shared
+// book would make remote Sends resolve, dial, fail and drop silently
+// instead of failing loudly with ErrUnknownAddr.
+func (t *Transport) Register(addr transport.Addr, h transport.Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return
+	}
+	t.handlers[addr] = h
+	// Published under t.mu so a racing Close (which snapshots handlers
+	// under the same lock before withdrawing them) can never leave this
+	// entry behind.
+	t.book.Set(addr, t.advertise)
+}
+
+// Deregister implements transport.Transport. The address book entry is
+// removed only if it still points at this process, and the address's
+// inbound link queues (goroutine + replay watermarks each) are reaped so
+// long-lived processes with address churn don't accumulate them; a frame
+// arriving later recreates the queue and is dropped at the no-handler
+// check.
+func (t *Transport) Deregister(addr transport.Addr) {
+	t.mu.Lock()
+	delete(t.handlers, addr)
+	t.mu.Unlock()
+	t.book.deleteOwned(addr, t.advertise)
+	t.linksMu.Lock()
+	for k, q := range t.links {
+		if k.to == addr {
+			q.stop()
+			delete(t.links, k)
+		}
+	}
+	t.linksMu.Unlock()
+}
+
+// Send implements transport.Transport: resolve, frame, and hand the frame
+// to the destination endpoint's writer. It never blocks on the network.
+func (t *Transport) Send(from, to transport.Addr, kind string, payload []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	hostport, ok := t.book.Lookup(to)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	// Oversized frames must fail loudly here, before the encode allocates:
+	// written to the wire they would make the receiver sever the whole
+	// connection, silently losing every unrelated message buffered behind
+	// them.
+	if size := frameSize(from, to, kind, payload); size > t.maxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes to %q exceeds MaxFrame %d", size, to, t.maxFrame)
+	}
+	frame := t.encodeFrame(from, to, kind, payload)
+	p := t.peerFor(hostport)
+	if p == nil { // Close won the race after the check above
+		return ErrClosed
+	}
+	t.sent.Add(1)
+	t.bytes.Add(uint64(len(payload)))
+	p.enqueue(frame)
+	return nil
+}
+
+// Stats implements transport.StatsSource.
+func (t *Transport) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:      t.sent.Load(),
+		Delivered: t.delivered.Load(),
+		Dropped:   t.dropped.Load(),
+		Bytes:     t.bytes.Load(),
+	}
+}
+
+// Close implements transport.Transport: it stops the listener, all writer
+// goroutines and all inbound readers, waits for them, and withdraws this
+// process's addresses from the shared book so other processes get
+// ErrUnknownAddr instead of queueing for a dead endpoint.
+func (t *Transport) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	t.ln.Close()
+	t.mu.Lock()
+	for _, p := range t.peers {
+		p.stop()
+	}
+	for c := range t.inbound {
+		c.Close()
+	}
+	addrs := make([]transport.Addr, 0, len(t.handlers))
+	for a := range t.handlers {
+		addrs = append(addrs, a)
+	}
+	t.mu.Unlock()
+	t.linksMu.Lock()
+	for _, q := range t.links {
+		q.stop()
+	}
+	t.linksMu.Unlock()
+	for _, a := range addrs {
+		t.book.deleteOwned(a, t.advertise)
+	}
+	t.wg.Wait()
+}
+
+// peerFor returns (creating if needed) the writer for one remote endpoint,
+// or nil if the transport closed. The closed re-check under t.mu keeps a
+// racing Send from spawning a writer goroutine after Close has already
+// stopped every peer — that writer would never be stopped and Close's
+// wg.Wait would hang.
+func (t *Transport) peerFor(hostport string) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return nil
+	}
+	p := t.peers[hostport]
+	if p == nil {
+		p = newPeer(t, hostport)
+		t.peers[hostport] = p
+		t.wg.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// acceptLoop admits inbound connections until the listener closes.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection and dispatches them
+// through the per-sender gates, which enforce FIFO even when a sender's
+// broken and fresh connections are read concurrently.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if int64(n) > int64(t.maxFrame) { // int64: int(n) can go negative on 32-bit
+			return // protocol violation: drop the connection
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		epoch, seq, msg, err := decodeFrame(body)
+		if err != nil {
+			return
+		}
+		t.linkFor(msg.From, msg.To).push(inFrame{epoch: epoch, seq: seq, msg: msg})
+	}
+}
+
+// linkKey identifies one (From,To) direction.
+type linkKey struct{ from, to transport.Addr }
+
+// inFrame is one decoded inbound frame awaiting dispatch.
+type inFrame struct {
+	epoch, seq uint64
+	msg        transport.Message
+}
+
+// linkQueue dispatches one link's inbound frames, in push order, on a
+// dedicated goroutine. The epoch distinguishes sender incarnations: each
+// keeps its own sequence watermark, so a restarted process (fresh epoch,
+// sequence numbers restarting at 1) is never mistaken for a replay —
+// regardless of whether its new epoch compares higher or lower than the
+// old one, so no clock monotonicity across restarts is assumed. Replay
+// suppression only ever needs to hold within one incarnation: that is the
+// only place a reconnect can duplicate or reorder frames.
+type linkQueue struct {
+	t      *Transport
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []inFrame
+	closed bool
+	last   map[uint64]uint64 // incarnation epoch → highest seq delivered
+}
+
+// linkFor returns (creating if needed) the dispatch queue for one link,
+// or an already-closed queue when the transport has shut down.
+func (t *Transport) linkFor(from, to transport.Addr) *linkQueue {
+	k := linkKey{from, to}
+	t.linksMu.Lock()
+	defer t.linksMu.Unlock()
+	q := t.links[k]
+	if q == nil {
+		q = &linkQueue{t: t, last: make(map[uint64]uint64)}
+		q.cond = sync.NewCond(&q.mu)
+		if t.closed.Load() {
+			q.closed = true
+		} else {
+			t.links[k] = q
+			t.wg.Add(1)
+			go q.run()
+		}
+	}
+	return q
+}
+
+// push appends one frame for dispatch; it never blocks.
+func (q *linkQueue) push(f inFrame) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.t.dropped.Add(1) // link reaped or transport closing
+		return
+	}
+	q.queue = append(q.queue, f)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// stop wakes the dispatcher for shutdown; pending frames are abandoned.
+func (q *linkQueue) stop() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// run delivers the link's frames in order. Handlers run here — one
+// goroutine per link — so per-link FIFO holds while a handler blocking on
+// another link's progress cannot wedge the whole transport.
+func (q *linkQueue) run() {
+	defer q.t.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		batch := q.queue
+		q.queue = nil
+		q.mu.Unlock()
+
+		for _, f := range batch {
+			q.deliver(f)
+		}
+	}
+}
+
+// maxEpochWatermarks caps one link's per-incarnation watermark map: a
+// frequently restarting sender would otherwise grow it by one entry per
+// restart. Evicting an old incarnation's watermark risks re-delivering
+// one of its replayed frames only if that replay surfaces after two
+// further restarts — far outside any reconnect race window.
+const maxEpochWatermarks = 4
+
+// deliver dispatches one frame through the incarnation watermark.
+func (q *linkQueue) deliver(f inFrame) {
+	if f.seq <= q.last[f.epoch] { // dispatcher-private: no lock needed
+		q.t.dropped.Add(1) // stale replay from a superseded connection
+		return
+	}
+	if len(q.last) >= maxEpochWatermarks {
+		for e := range q.last {
+			if e != f.epoch {
+				delete(q.last, e)
+				break
+			}
+		}
+	}
+	q.last[f.epoch] = f.seq
+	t := q.t
+	t.mu.Lock()
+	h := t.handlers[f.msg.To]
+	t.mu.Unlock()
+	if h == nil {
+		t.dropped.Add(1) // deregistered (or never here): drop at delivery
+		return
+	}
+	t.delivered.Add(1)
+	h(f.msg)
+}
+
+// Frame layout: u32 length prefix (bytes after itself), u64 sender
+// incarnation epoch, u64 sequence number (stamped by peer.enqueue — zero
+// until then), then the codec body.
+const seqOffset = 12
+
+// frameSize returns the frame body size (everything after the length
+// prefix) without encoding anything: epoch + seq + three u32-prefixed
+// strings + the u32-prefixed payload.
+func frameSize(from, to transport.Addr, kind string, payload []byte) int {
+	return 8 + 8 + 4 + len(from) + 4 + len(to) + 4 + len(kind) + 4 + len(payload)
+}
+
+// encodeFrame renders one message as a length-prefixed codec frame.
+func (t *Transport) encodeFrame(from, to transport.Addr, kind string, payload []byte) []byte {
+	w := codec.NewWriter(4 + frameSize(from, to, kind, payload))
+	w.U32(0)       // length, patched below
+	w.U64(t.epoch) // sender incarnation
+	w.U64(0)       // sequence number, patched at enqueue
+	w.String(string(from))
+	w.String(string(to))
+	w.String(kind)
+	w.Bytes32(payload)
+	frame := w.Bytes()
+	binary.BigEndian.PutUint32(frame, uint32(len(frame)-4))
+	return frame
+}
+
+// decodeFrame parses one frame body (length prefix already consumed). The
+// payload aliases body, which is freshly allocated per frame and never
+// reused, so handlers may retain it — the same contract netsim gives.
+func decodeFrame(body []byte) (epoch, seq uint64, msg transport.Message, err error) {
+	r := codec.NewReader(body)
+	epoch = r.U64()
+	seq = r.U64()
+	msg = transport.Message{
+		From: transport.Addr(r.String()),
+		To:   transport.Addr(r.String()),
+		Kind: r.String(),
+	}
+	msg.Payload = r.BytesView()
+	if err := r.Finish(); err != nil {
+		return 0, 0, transport.Message{}, fmt.Errorf("tcpnet: decoding frame: %w", err)
+	}
+	return epoch, seq, msg, nil
+}

@@ -1,0 +1,214 @@
+// Package transporttest is the transport-plane conformance suite: the
+// executable specification of the semantics every backend must provide so
+// that the protocol stack above (orb, core, group, newtop, fsnewtop) runs
+// identically over all of them. Each backend runs the suite from its own
+// test file; new backends get the whole contract for one factory func.
+//
+// The pinned semantics:
+//
+//   - delivery fidelity: From, To, Kind and Payload arrive intact;
+//   - per-link FIFO: messages of one (From,To) direction are delivered in
+//     send order (the Order protocol's leader→follower assumption);
+//   - loud mis-wiring: sending to an unresolvable address fails with
+//     transport.ErrUnknownAddr, including after Deregister;
+//   - close semantics: Send after Close fails with transport.ErrClosed;
+//     Close is idempotent;
+//   - control/data-plane concurrency: Register and Send race freely (the
+//     suite is expected to run under -race).
+package transporttest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsnewtop/transport"
+)
+
+// Deployment is one backend deployment under test.
+type Deployment struct {
+	// Endpoint returns the transport on which node i registers and sends.
+	// Backends where one object serves every address (netsim) return the
+	// same value for all i; per-process backends (tcpnet) return distinct
+	// instances wired to reach each other. The suite uses i in [0, 4).
+	Endpoint func(i int) transport.Transport
+	// Close tears the deployment down. May be nil.
+	Close func()
+}
+
+// waitTimeout bounds every delivery wait. Generous: CI machines stall.
+const waitTimeout = 10 * time.Second
+
+// Run executes the conformance suite against deployments built by factory.
+// Each subtest gets a fresh deployment.
+func Run(t *testing.T, factory func(t *testing.T) *Deployment) {
+	sub := func(name string, f func(t *testing.T, d *Deployment)) {
+		t.Run(name, func(t *testing.T) {
+			d := factory(t)
+			if d.Close != nil {
+				defer d.Close()
+			}
+			f(t, d)
+		})
+	}
+	sub("DeliveryFidelity", testDeliveryFidelity)
+	sub("PerLinkFIFO", testPerLinkFIFO)
+	sub("UnknownAddr", testUnknownAddr)
+	sub("DeregisterThenSend", testDeregisterThenSend)
+	sub("CloseSemantics", testCloseSemantics)
+	sub("ConcurrentRegisterSend", testConcurrentRegisterSend)
+}
+
+func testDeliveryFidelity(t *testing.T, d *Deployment) {
+	sender, receiver := d.Endpoint(0), d.Endpoint(1)
+	got := make(chan transport.Message, 1)
+	receiver.Register("conf/b", func(m transport.Message) { got <- m })
+	// The sender side also registers so backends that resolve From (none
+	// today) and symmetric deployments both work.
+	sender.Register("conf/a", func(transport.Message) {})
+
+	payload := []byte("payload-bytes")
+	if err := sender.Send("conf/a", "conf/b", "conf.kind", payload); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case m := <-got:
+		if m.From != "conf/a" || m.To != "conf/b" || m.Kind != "conf.kind" || string(m.Payload) != string(payload) {
+			t.Fatalf("delivered message corrupted: %+v", m)
+		}
+	case <-time.After(waitTimeout):
+		t.Fatal("message not delivered")
+	}
+}
+
+func testPerLinkFIFO(t *testing.T, d *Deployment) {
+	const n = 500
+	sender, receiver := d.Endpoint(0), d.Endpoint(1)
+	seqs := make(chan int, n)
+	receiver.Register("conf/fifo-dst", func(m transport.Message) {
+		seqs <- int(m.Payload[0])<<8 | int(m.Payload[1])
+	})
+	sender.Register("conf/fifo-src", func(transport.Message) {})
+	for i := 0; i < n; i++ {
+		if err := sender.Send("conf/fifo-src", "conf/fifo-dst", "seq", []byte{byte(i >> 8), byte(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	deadline := time.After(waitTimeout)
+	for want := 0; want < n; want++ {
+		select {
+		case got := <-seqs:
+			if got != want {
+				t.Fatalf("FIFO violated: delivered %d, want %d", got, want)
+			}
+		case <-deadline:
+			t.Fatalf("timed out at seq %d/%d", want, n)
+		}
+	}
+}
+
+func testUnknownAddr(t *testing.T, d *Deployment) {
+	ep := d.Endpoint(0)
+	ep.Register("conf/known", func(transport.Message) {})
+	err := ep.Send("conf/known", "conf/never-registered", "k", nil)
+	if !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("Send to unregistered addr: err = %v, want transport.ErrUnknownAddr", err)
+	}
+}
+
+func testDeregisterThenSend(t *testing.T, d *Deployment) {
+	sender, receiver := d.Endpoint(0), d.Endpoint(1)
+	got := make(chan transport.Message, 1)
+	receiver.Register("conf/gone", func(m transport.Message) { got <- m })
+	sender.Register("conf/src", func(transport.Message) {})
+	if err := sender.Send("conf/src", "conf/gone", "k", []byte("x")); err != nil {
+		t.Fatalf("Send while registered: %v", err)
+	}
+	select {
+	case <-got:
+	case <-time.After(waitTimeout):
+		t.Fatal("pre-deregister message not delivered")
+	}
+
+	receiver.Deregister("conf/gone")
+	err := sender.Send("conf/src", "conf/gone", "k", []byte("y"))
+	if !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("Send after Deregister: err = %v, want transport.ErrUnknownAddr", err)
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("message delivered to deregistered address: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func testCloseSemantics(t *testing.T, d *Deployment) {
+	sender, receiver := d.Endpoint(0), d.Endpoint(1)
+	receiver.Register("conf/dst", func(transport.Message) {})
+	sender.Register("conf/src", func(transport.Message) {})
+	if err := sender.Send("conf/src", "conf/dst", "k", nil); err != nil {
+		t.Fatalf("Send before close: %v", err)
+	}
+
+	sender.Close()
+	if err := sender.Send("conf/src", "conf/dst", "k", nil); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Send after Close: err = %v, want transport.ErrClosed", err)
+	}
+	sender.Close() // idempotent: must not panic or deadlock
+}
+
+func testConcurrentRegisterSend(t *testing.T, d *Deployment) {
+	const (
+		registrars = 4
+		senders    = 4
+		perWorker  = 200
+	)
+	receiver := d.Endpoint(1)
+	var delivered sync.WaitGroup
+	delivered.Add(senders * perWorker)
+	receiver.Register("conf/hot", func(transport.Message) { delivered.Done() })
+
+	var wg sync.WaitGroup
+	for g := 0; g < registrars; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := d.Endpoint(g % 4)
+			for i := 0; i < perWorker; i++ {
+				addr := transport.Addr(fmt.Sprintf("conf/churn-%d-%d", g, i))
+				ep.Register(addr, func(transport.Message) {})
+				if i%2 == 1 {
+					ep.Deregister(addr)
+				}
+			}
+		}()
+	}
+	for g := 0; g < senders; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep := d.Endpoint(g % 4)
+			src := transport.Addr(fmt.Sprintf("conf/sender-%d", g))
+			ep.Register(src, func(transport.Message) {})
+			for i := 0; i < perWorker; i++ {
+				if err := ep.Send(src, "conf/hot", "k", []byte{byte(i)}); err != nil {
+					t.Errorf("concurrent Send: %v", err)
+					delivered.Done()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { delivered.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(waitTimeout):
+		t.Fatal("not all concurrent sends were delivered")
+	}
+}

@@ -4,9 +4,12 @@
 // group and majority-vote the replies. Given at most f Byzantine
 // application replicas, f+1 matching replies identify the correct result.
 //
-// The package composes over newtop.Service, so the same application code
-// runs on crash-tolerant NewTOP and Byzantine-tolerant FS-NewTOP — the
-// composability argument of Section 1.
+// The package is public and composes over the public deployment API: a
+// replica or voter attaches to a cluster.Member and replies travel
+// directly over the cluster's transport. The same application code
+// therefore runs on crash-tolerant NewTOP and Byzantine-tolerant
+// FS-NewTOP, over the simulator or real TCP — the composability argument
+// of Section 1.
 package vote
 
 import (
@@ -14,11 +17,23 @@ import (
 	"sync"
 	"time"
 
+	"fsnewtop/cluster"
 	"fsnewtop/internal/codec"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
+	"fsnewtop/transport"
 )
+
+// Member is the slice of the group API the voting layer composes over; it
+// is satisfied by *cluster.Member.
+type Member interface {
+	// Multicast sends payload to the group at the given ordering level.
+	Multicast(group string, o cluster.Ordering, payload []byte) error
+	// Deliveries streams delivered messages; the voting layer drains it.
+	Deliveries() <-chan cluster.Delivery
+	// Views streams installed views; the voting layer drains it.
+	Views() <-chan cluster.View
+}
+
+var _ Member = (*cluster.Member)(nil)
 
 // AppMachine is the replicated application: a deterministic state machine
 // over request bytes.
@@ -91,7 +106,7 @@ func UnmarshalResponse(b []byte) (Response, error) {
 const msgResponse = "vote.resp"
 
 // voterAddr is the network endpoint of a voter.
-func voterAddr(name string) netsim.Addr { return netsim.Addr("voter:" + name) }
+func voterAddr(name string) transport.Addr { return transport.Addr("voter:" + name) }
 
 // Replica runs one application replica on top of a group member: it
 // consumes the member's totally-ordered deliveries, applies requests to
@@ -99,27 +114,27 @@ func voterAddr(name string) netsim.Addr { return netsim.Addr("voter:" + name) }
 type Replica struct {
 	name  string
 	app   AppMachine
-	net   *netsim.Network
-	addr  netsim.Addr
+	net   transport.Transport
+	addr  transport.Addr
 	group string
 	done  chan struct{}
 	wg    sync.WaitGroup
 }
 
-// NewReplica starts an application replica. svc must already be (or soon
+// NewReplica starts an application replica. m must already be (or soon
 // become) a member of groupName; the replica consumes its delivery stream.
-func NewReplica(name, groupName string, svc newtop.Service, app AppMachine, net *netsim.Network) *Replica {
+func NewReplica(name, groupName string, m Member, app AppMachine, net transport.Transport) *Replica {
 	r := &Replica{
 		name:  name,
 		app:   app,
 		net:   net,
-		addr:  netsim.Addr("appreplica:" + name),
+		addr:  transport.Addr("appreplica:" + name),
 		group: groupName,
 		done:  make(chan struct{}),
 	}
-	net.Register(r.addr, func(netsim.Message) {})
+	net.Register(r.addr, func(transport.Message) {})
 	r.wg.Add(1)
-	go r.loop(svc)
+	go r.loop(m)
 	return r
 }
 
@@ -129,13 +144,14 @@ func (r *Replica) Close() {
 	r.wg.Wait()
 }
 
-func (r *Replica) loop(svc newtop.Service) {
+func (r *Replica) loop(m Member) {
 	defer r.wg.Done()
 	for {
 		select {
 		case <-r.done:
 			return
-		case d := <-svc.Deliveries():
+		case <-m.Views():
+		case d := <-m.Deliveries():
 			if d.Group != r.group {
 				continue
 			}
@@ -155,7 +171,7 @@ func (r *Replica) loop(svc newtop.Service) {
 type Voter struct {
 	name  string
 	f     int
-	svc   newtop.Service
+	m     Member
 	group string
 	done  chan struct{}
 	wg    sync.WaitGroup
@@ -174,13 +190,13 @@ type ballot struct {
 }
 
 // NewVoter creates a voting client. f is the Byzantine fault bound: a
-// result needs f+1 matching replies. The voter's svc must be a member of
+// result needs f+1 matching replies. The voter's m must be a member of
 // groupName (it multicasts but does not apply requests).
-func NewVoter(name, groupName string, f int, svc newtop.Service, net *netsim.Network) *Voter {
+func NewVoter(name, groupName string, f int, m Member, net transport.Transport) *Voter {
 	v := &Voter{
 		name:    name,
 		f:       f,
-		svc:     svc,
+		m:       m,
 		group:   groupName,
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*ballot),
@@ -195,8 +211,8 @@ func NewVoter(name, groupName string, f int, svc newtop.Service, net *netsim.Net
 			select {
 			case <-v.done:
 				return
-			case <-svc.Deliveries():
-			case <-svc.Views():
+			case <-m.Deliveries():
+			case <-m.Views():
 			}
 		}
 	}()
@@ -209,7 +225,7 @@ func (v *Voter) Close() {
 	v.wg.Wait()
 }
 
-func (v *Voter) onMessage(msg netsim.Message) {
+func (v *Voter) onMessage(msg transport.Message) {
 	if msg.Kind != msgResponse {
 		return
 	}
@@ -242,7 +258,7 @@ func (v *Voter) onMessage(msg netsim.Message) {
 }
 
 // Submit multicasts one request to the replica group and waits for f+1
-// matching replies.
+// matching replies. An expired wait wraps transport.ErrTimeout.
 func (v *Voter) Submit(body []byte, timeout time.Duration) ([]byte, error) {
 	v.mu.Lock()
 	v.nextID++
@@ -257,7 +273,7 @@ func (v *Voter) Submit(body []byte, timeout time.Duration) ([]byte, error) {
 	v.mu.Unlock()
 
 	req := Request{ID: id, Client: v.name, Body: body}
-	if err := v.svc.Multicast(v.group, group.TotalSym, req.Marshal()); err != nil {
+	if err := v.m.Multicast(v.group, cluster.TotalSym, req.Marshal()); err != nil {
 		v.mu.Lock()
 		delete(v.pending, id)
 		v.mu.Unlock()
@@ -270,6 +286,6 @@ func (v *Voter) Submit(body []byte, timeout time.Duration) ([]byte, error) {
 		v.mu.Lock()
 		delete(v.pending, id)
 		v.mu.Unlock()
-		return nil, fmt.Errorf("vote: request %d: no majority within %v", id, timeout)
+		return nil, fmt.Errorf("vote: request %d: no majority within %v: %w", id, timeout, transport.ErrTimeout)
 	}
 }

@@ -5,13 +5,9 @@ import (
 	"testing"
 	"time"
 
-	"fsnewtop/internal/clock"
+	"fsnewtop/cluster"
 	"fsnewtop/internal/faults"
-	"fsnewtop/internal/fsnewtop"
-	"fsnewtop/internal/group"
-	"fsnewtop/internal/netsim"
-	"fsnewtop/internal/newtop"
-	"fsnewtop/internal/orb"
+	"fsnewtop/transport"
 )
 
 // counterApp is a deterministic app: each request adds its length to a
@@ -25,110 +21,49 @@ func counterApp() AppMachine {
 }
 
 // deployment bundles one replicated-service deployment: a voter plus 2f+1
-// app replicas over either middleware.
+// app replicas over either middleware, assembled with the public cluster
+// API the package composes over.
 type deployment struct {
-	net      *netsim.Network
-	voter    *Voter
-	replicas []*Replica
-	services map[string]*newtop.NSO
+	c     *cluster.Cluster
+	voter *Voter
 }
 
-// deployNewTOP builds the crash-tolerant variant.
-func deployNewTOP(t *testing.T, f int, apps []AppMachine) *deployment {
+// deploy builds the Figure 4 stack: 2f+1 app replicas plus the voting
+// client, crash-tolerant (NewTOP) or Byzantine-tolerant (FS-NewTOP).
+func deploy(t *testing.T, crashTolerant bool, f int, apps []AppMachine) *deployment {
 	t.Helper()
 	n := 2*f + 1
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)}))
-	t.Cleanup(net.Close)
-	naming := orb.NewNaming()
 	members := []string{"client"}
 	for i := 0; i < n; i++ {
 		members = append(members, fmt.Sprintf("r%d", i))
 	}
-	services := map[string]newtop.Service{}
-	for _, m := range members {
-		svc, err := newtop.New(newtop.Config{
-			Name:         m,
-			Net:          net,
-			Naming:       naming,
-			Clock:        clock.NewReal(),
-			TickInterval: 5 * time.Millisecond,
-			GC:           group.Config{SuspectAfter: time.Minute},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		services[m] = svc
-		t.Cleanup(svc.Close)
+	opts := []cluster.Option{
+		cluster.WithMembers(members...),
+		cluster.WithTickInterval(5 * time.Millisecond),
 	}
-	for _, m := range members {
-		if err := services[m].Join("app", members); err != nil {
-			t.Fatal(err)
-		}
+	if crashTolerant {
+		opts = append(opts,
+			cluster.WithCrashTolerance(),
+			cluster.WithPingSuspector(200*time.Millisecond, time.Minute),
+		)
+	} else {
+		opts = append(opts, cluster.WithDelta(100*time.Millisecond))
 	}
-	d := &deployment{net: net, services: map[string]*newtop.NSO{}}
-	for m, s := range services {
-		if nso, ok := s.(*newtop.NSO); ok {
-			d.services[m] = nso
-		}
+	c, err := cluster.New(opts...)
+	if err != nil {
+		t.Fatal(err)
 	}
+	t.Cleanup(c.Close)
+	if err := c.JoinAll("app"); err != nil {
+		t.Fatal(err)
+	}
+	d := &deployment{c: c}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("r%d", i)
-		rep := NewReplica(name, "app", services[name], apps[i], net)
-		d.replicas = append(d.replicas, rep)
+		rep := NewReplica(name, "app", c.Member(name), apps[i], c.Transport())
 		t.Cleanup(rep.Close)
 	}
-	d.voter = NewVoter("client", "app", f, services["client"], net)
-	t.Cleanup(d.voter.Close)
-	return d
-}
-
-// deployFSNewTOP builds the Byzantine-tolerant variant (Figure 4: 4f+2
-// middleware nodes behind 2f+1 app replicas plus the client).
-func deployFSNewTOP(t *testing.T, f int, apps []AppMachine) *deployment {
-	t.Helper()
-	n := 2*f + 1
-	net := netsim.New(clock.NewReal(), netsim.WithDefaultProfile(netsim.Profile{Latency: netsim.Fixed(100 * time.Microsecond)}))
-	t.Cleanup(net.Close)
-	fab := fsnewtop.NewFabric(net, clock.NewReal())
-	members := []string{"client"}
-	for i := 0; i < n; i++ {
-		members = append(members, fmt.Sprintf("r%d", i))
-	}
-	services := map[string]newtop.Service{}
-	for _, m := range members {
-		peers := make([]string, 0, len(members)-1)
-		for _, p := range members {
-			if p != m {
-				peers = append(peers, p)
-			}
-		}
-		svc, err := fsnewtop.New(fsnewtop.Config{
-			Name:         m,
-			Fabric:       fab,
-			Peers:        peers,
-			Delta:        30 * time.Millisecond,
-			TickInterval: 5 * time.Millisecond,
-			GC:           group.Config{ResendAfter: 20 * time.Millisecond},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		services[m] = svc
-		t.Cleanup(svc.Close)
-	}
-	for _, m := range members {
-		if err := services[m].Join("app", members); err != nil {
-			t.Fatal(err)
-		}
-	}
-	d := &deployment{net: net}
-	for i := 0; i < n; i++ {
-		name := fmt.Sprintf("r%d", i)
-		rep := NewReplica(name, "app", services[name], apps[i], net)
-		d.replicas = append(d.replicas, rep)
-		t.Cleanup(rep.Close)
-	}
-	d.voter = NewVoter("client", "app", f, services["client"], net)
+	d.voter = NewVoter("client", "app", f, c.Member("client"), c.Transport())
 	t.Cleanup(d.voter.Close)
 	return d
 }
@@ -154,7 +89,7 @@ func TestWireRoundTrips(t *testing.T) {
 
 func TestVotingAllCorrectOverNewTOP(t *testing.T) {
 	apps := []AppMachine{counterApp(), counterApp(), counterApp()}
-	d := deployNewTOP(t, 1, apps)
+	d := deploy(t, true, 1, apps)
 	for i := 1; i <= 3; i++ {
 		got, err := d.voter.Submit([]byte("xx"), 20*time.Second)
 		if err != nil {
@@ -174,7 +109,7 @@ func TestVotingMasksOneLiarOverNewTOP(t *testing.T) {
 		&faults.LyingApp{Inner: inner.Apply},
 		counterApp(),
 	}
-	d := deployNewTOP(t, 1, apps)
+	d := deploy(t, true, 1, apps)
 	got, err := d.voter.Submit([]byte("abc"), 20*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +126,7 @@ func TestVotingNoMajorityWithTwoIndependentLiars(t *testing.T) {
 		&faults.LyingApp{Inner: innerB.Apply, Mask: 0xF0},
 		counterApp(),
 	}
-	d := deployNewTOP(t, 1, apps)
+	d := deploy(t, true, 1, apps)
 	if _, err := d.voter.Submit([]byte("abc"), 2*time.Second); err == nil {
 		t.Fatal("voter accepted a result despite two independent liars (f exceeded)")
 	}
@@ -204,7 +139,7 @@ func TestVotingOverFSNewTOP(t *testing.T) {
 		&faults.LyingApp{Inner: inner.Apply},
 		counterApp(),
 	}
-	d := deployFSNewTOP(t, 1, apps)
+	d := deploy(t, false, 1, apps)
 	for i := 1; i <= 2; i++ {
 		got, err := d.voter.Submit([]byte("wxyz"), 30*time.Second)
 		if err != nil {
@@ -219,25 +154,37 @@ func TestVotingOverFSNewTOP(t *testing.T) {
 
 func TestVoterCountsOneVotePerReplica(t *testing.T) {
 	// A single replica repeating itself must not reach a 2-vote majority.
-	net := netsim.New(clock.NewReal())
-	defer net.Close()
-	naming := orb.NewNaming()
-	svc, err := newtop.New(newtop.Config{
-		Name: "client", Net: net, Naming: naming,
-		Clock: clock.NewReal(), TickInterval: 5 * time.Millisecond,
-		GC: group.Config{SuspectAfter: time.Minute},
-	})
+	c, err := cluster.New(
+		cluster.WithMembers("client", "idle"),
+		cluster.WithCrashTolerance(),
+		cluster.WithPingSuspector(200*time.Millisecond, time.Minute),
+		cluster.WithTickInterval(5*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer svc.Close()
-	if err := svc.Join("app", []string{"client"}); err != nil {
+	t.Cleanup(c.Close)
+	if err := c.JoinAll("app"); err != nil {
 		t.Fatal(err)
 	}
-	v := NewVoter("client", "app", 1, svc, net)
-	defer v.Close()
+	idle := c.Member("idle")
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-idle.Deliveries():
+			case <-idle.Views():
+			}
+		}
+	}()
+	v := NewVoter("client", "app", 1, c.Member("client"), c.Transport())
+	t.Cleanup(v.Close)
 
-	net.Register("spammer", func(netsim.Message) {})
+	net := c.Transport()
+	net.Register("spammer", func(transport.Message) {})
 	done := make(chan error, 1)
 	go func() {
 		_, err := v.Submit([]byte("q"), time.Second)
