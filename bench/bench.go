@@ -29,6 +29,7 @@ import (
 	"fsnewtop/internal/newtop"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sig"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 	"fsnewtop/transport/netsim"
 	"fsnewtop/transport/tcpnet"
@@ -98,6 +99,22 @@ type Options struct {
 	Seed int64
 	// Timeout bounds the whole run.
 	Timeout time.Duration
+	// StallAfter is the round-progress watchdog window: a run that makes
+	// no delivery at any member for this long while short of Expected is
+	// declared wedged and returns *ErrStalled immediately — with per-node
+	// counts and a trace dump — instead of burning the rest of Timeout.
+	// Zero selects 2×Delta with a 5 s floor (k·Δ with k=2: two full
+	// compare deadlines at the follower, so a stall verdict can never
+	// race a live deadline that would unwedge the run by fail-signalling;
+	// the floor keeps small-Δ runs on a loaded host from declaring
+	// scheduler hiccups to be wedges). Negative disables the watchdog.
+	StallAfter time.Duration
+	// TraceDir is where stall dumps are written. Empty selects the OS
+	// temp directory.
+	TraceDir string
+	// NoStallDump suppresses writing the trace dump when a stall is
+	// declared (the structured error is still returned).
+	NoStallDump bool
 }
 
 func (o *Options) fillDefaults() {
@@ -141,6 +158,12 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Transport == "" {
 		o.Transport = TransportNetsim
+	}
+	if o.StallAfter == 0 {
+		o.StallAfter = 2 * o.Delta
+		if o.StallAfter < 5*time.Second {
+			o.StallAfter = 5 * time.Second
+		}
 	}
 }
 
@@ -242,7 +265,9 @@ func Run(opts Options) (Result, error) {
 	}
 	defer net.Close()
 
-	members, fab, err := buildCluster(opts, net)
+	reg := trace.NewRegistry(0, nil)
+	activeTrace.Store(reg)
+	members, fab, err := buildCluster(opts, net, reg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -333,9 +358,54 @@ func Run(opts Options) (Result, error) {
 	}
 	wgSend.Wait()
 
+	// Round-progress watchdog: the protocol should never go StallAfter
+	// without a delivery while work is outstanding. When it does, snapshot
+	// everything and fail fast with a diagnosis instead of letting the
+	// wall timeout swallow the evidence.
+	stalled := make(chan struct{})
+	stopStall := make(chan struct{})
+	defer close(stopStall)
+	if opts.StallAfter > 0 {
+		progress := func() int {
+			total := 0
+			for _, m := range members {
+				m.mu.Lock()
+				total += m.count
+				m.mu.Unlock()
+			}
+			return total
+		}
+		go stallMonitor(progress, opts.StallAfter, stopStall, stalled)
+	}
+
 	timedOut := false
+	var stallErr *ErrStalled
 	select {
 	case <-allDone:
+	case <-stalled:
+		stallErr = &ErrStalled{
+			System:    opts.System,
+			Transport: opts.Transport,
+			Members:   opts.Members,
+			Expected:  opts.Members * expectedPerMember,
+			Quiet:     opts.StallAfter,
+		}
+		for _, m := range members {
+			m.mu.Lock()
+			count := m.count
+			m.mu.Unlock()
+			mp := MemberProgress{Name: m.name, Delivered: count}
+			if nso, ok := m.svc.(*fsnewtop.NSO); ok {
+				mp.PairFailed = nso.Pair().Failed()
+			}
+			stallErr.Delivered += count
+			stallErr.PerMember = append(stallErr.PerMember, mp)
+		}
+		if !opts.NoStallDump {
+			if path, err := reg.Dump(opts.TraceDir, "stall"); err == nil {
+				stallErr.DumpPath = path
+			}
+		}
 	case <-time.After(opts.Timeout):
 		timedOut = true
 	}
@@ -378,6 +448,9 @@ func Run(opts Options) (Result, error) {
 		cs := fab.SigCacheStats()
 		res.SigCacheHits, res.SigCacheMisses = cs.Hits, cs.Misses
 	}
+	if stallErr != nil {
+		return res, stallErr
+	}
 	if timedOut {
 		failed := ""
 		for _, m := range members {
@@ -393,7 +466,7 @@ func Run(opts Options) (Result, error) {
 
 // buildCluster deploys the middleware under test. The returned fabric is
 // non-nil only for FS-NewTOP, whose crypto-plane counters Run reports.
-func buildCluster(opts Options, net transport.Transport) ([]*member, *fsnewtop.Fabric, error) {
+func buildCluster(opts Options, net transport.Transport, reg *trace.Registry) ([]*member, *fsnewtop.Fabric, error) {
 	names := make([]string, opts.Members)
 	for i := range names {
 		names[i] = fmt.Sprintf("m%02d", i)
@@ -410,6 +483,7 @@ func buildCluster(opts Options, net transport.Transport) ([]*member, *fsnewtop.F
 				Net:          net,
 				Naming:       naming,
 				Clock:        clock.NewReal(),
+				Trace:        reg,
 				PoolSize:     opts.PoolSize,
 				ServiceTime:  opts.ServiceTime,
 				TickInterval: 5 * time.Millisecond,
@@ -429,6 +503,7 @@ func buildCluster(opts Options, net transport.Transport) ([]*member, *fsnewtop.F
 
 	case SystemFSNewTOP:
 		fab = fsnewtop.NewFabric(net, clock.NewReal())
+		fab.Trace = reg
 		if opts.RSA {
 			fab.NewSigner = func(id sig.ID) (sig.Signer, error) {
 				return sig.NewRSASigner(id, sig.RSAKeySize, nil)

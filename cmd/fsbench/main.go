@@ -4,6 +4,7 @@
 //	fsbench -exp fig7            # throughput vs group size (2..15)
 //	fsbench -exp fig8            # throughput vs message size (10 members)
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
+//	fsbench -exp wedge           # repeated FS/tcp wedge repro (fig8 shape)
 //	fsbench -exp all -msgs 1000  # the paper's full message count
 //
 // Each experiment runs both NewTOP (crash-tolerant baseline) and
@@ -18,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fsnewtop/bench"
@@ -27,21 +30,41 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6, fig7, fig8, soak or all")
-		msgs     = flag.Int("msgs", 100, "messages per member (paper: 1000)")
-		interval = flag.Duration("interval", 2*time.Millisecond, "inter-send interval per member")
-		pool     = flag.Int("pool", 0, "ORB request pool size (0 = paper default 10)")
-		rsa      = flag.Bool("rsa", false, "sign FS outputs with MD5-and-RSA (the paper's scheme) instead of HMAC")
-		trans    = flag.String("transport", bench.TransportNetsim, "network substrate: netsim (seeded simulator) or tcp (real loopback sockets)")
-		members  = flag.String("members", "", "comma-separated group sizes override (fig6/fig7)")
-		sizes    = flag.String("sizes", "", "comma-separated message sizes override in bytes (fig8)")
-		soakSize = flag.Int("soak-members", 40, "group size for -exp soak")
-		soakMsgs = flag.Int("soak-msgs", 5, "messages per member for -exp soak")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
-		seed     = flag.Int64("seed", 1, "network randomness seed")
-		jsonDir  = flag.String("json", "", "directory to write BENCH_fig{6,7,8}.json series into")
+		exp       = flag.String("exp", "all", "experiment: fig6, fig7, fig8, soak or all")
+		msgs      = flag.Int("msgs", 100, "messages per member (paper: 1000)")
+		interval  = flag.Duration("interval", 2*time.Millisecond, "inter-send interval per member")
+		pool      = flag.Int("pool", 0, "ORB request pool size (0 = paper default 10)")
+		rsa       = flag.Bool("rsa", false, "sign FS outputs with MD5-and-RSA (the paper's scheme) instead of HMAC")
+		trans     = flag.String("transport", bench.TransportNetsim, "network substrate: netsim (seeded simulator) or tcp (real loopback sockets)")
+		members   = flag.String("members", "", "comma-separated group sizes override (fig6/fig7)")
+		sizes     = flag.String("sizes", "", "comma-separated message sizes override in bytes (fig8)")
+		soakSize  = flag.Int("soak-members", 40, "group size for -exp soak")
+		soakMsgs  = flag.Int("soak-msgs", 5, "messages per member for -exp soak")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		seed      = flag.Int64("seed", 1, "network randomness seed")
+		jsonDir   = flag.String("json", "", "directory to write BENCH_fig{6,7,8}.json series into")
+		traceDir  = flag.String("trace", "", "directory for protocol trace dumps (stall and SIGQUIT); empty = OS temp dir")
+		stallDump = flag.Bool("stall-dump", true, "write a trace dump (merged event timeline + goroutine stacks) when a run stalls")
+		runs      = flag.Int("runs", 20, "repetitions for -exp wedge")
 	)
 	flag.Parse()
+
+	// SIGQUIT dumps the active run's protocol trace and keeps going, so a
+	// hung or crawling sweep can be inspected without killing it mid-run
+	// (the Go runtime's default SIGQUIT behaviour would abort the whole
+	// process). Stacks are part of the dump, so nothing is lost over the
+	// runtime default — except the corpse.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			if path, err := bench.DumpTrace(*traceDir, "sigquit"); err != nil {
+				fmt.Fprintf(os.Stderr, "SIGQUIT trace dump failed: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "SIGQUIT trace dump: %s\n", path)
+			}
+		}
+	}()
 
 	if *trans != bench.TransportNetsim && *trans != bench.TransportTCP {
 		fmt.Fprintf(os.Stderr, "unknown -transport %q (want %s or %s)\n", *trans, bench.TransportNetsim, bench.TransportTCP)
@@ -55,6 +78,8 @@ func main() {
 		Transport:     *trans,
 		Timeout:       *timeout,
 		Seed:          *seed,
+		TraceDir:      *traceDir,
+		NoStallDump:   !*stallDump,
 	}
 
 	emit := func(figure, xAxis string, rows []bench.Row) {
@@ -93,6 +118,42 @@ func main() {
 		}
 	}
 
+	// runWedge is the FS-over-TCP wedge repro lane: the exact
+	// configuration that intermittently stuck at a round boundary
+	// (ROADMAP fig8 shape — 10 members, 5 msgs, 1 KiB payloads, real
+	// loopback sockets), run repeatedly. A stall fails fast with
+	// *bench.ErrStalled and a trace dump instead of hanging out the wall
+	// timeout. Exit status is the number of failed runs (capped at 125).
+	runWedge := func() {
+		failed := 0
+		for i := 1; i <= *runs; i++ {
+			opts := base
+			opts.System = bench.SystemFSNewTOP
+			opts.Members = 10
+			opts.MsgsPerMember = 5
+			opts.MsgSize = 1024
+			opts.Transport = bench.TransportTCP
+			if opts.Timeout > 30*time.Second {
+				opts.Timeout = 30 * time.Second
+			}
+			start := time.Now()
+			res, err := bench.Run(opts)
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+				failed++
+			}
+			fmt.Printf("wedge run %2d/%d: delivered %d/%d in %v: %s\n",
+				i, *runs, res.Delivered, res.Expected, time.Since(start).Round(time.Millisecond), status)
+		}
+		if failed > 0 {
+			if failed > 125 {
+				failed = 125
+			}
+			os.Exit(failed)
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "fig6":
@@ -109,8 +170,10 @@ func main() {
 			emit("fig8", "bytes", rows)
 		case "soak":
 			runSoak()
+		case "wedge":
+			runWedge()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge or all)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println()

@@ -8,6 +8,7 @@ import (
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 )
 
@@ -37,11 +38,13 @@ type PairConfig struct {
 	// sig.CachedVerifier). Nil means both replicas verify directly
 	// against Keys.
 	NewVerifier func() sig.Verifier
-	// Delta, Kappa, Sigma, T1, T2, TickInterval: see ReplicaConfig.
-	Delta        time.Duration
-	Kappa, Sigma float64
-	T1, T2       time.Duration
-	TickInterval time.Duration
+	// Delta, Kappa, Sigma, T1, T2, TickInterval, StrictDeadlines: see
+	// ReplicaConfig.
+	Delta           time.Duration
+	Kappa, Sigma    float64
+	T1, T2          time.Duration
+	TickInterval    time.Duration
+	StrictDeadlines bool
 	// LocalName and Watchers: see ReplicaConfig.
 	LocalName string
 	Watchers  []string
@@ -50,6 +53,11 @@ type PairConfig struct {
 	SyncLink *transport.Profile
 	// OnFailSignal: see ReplicaConfig.
 	OnFailSignal func(reason string)
+	// Trace, if non-nil, is the deployment's trace registry: the pair
+	// registers one event ring per FSO (named "<name>#L" / "<name>#F")
+	// and threads each through its replica, watchdog, and — when the
+	// machine implements trace.Traceable — the wrapped machine.
+	Trace *trace.Registry
 }
 
 // LeaderAddr returns the network address of the pair's leader FSO.
@@ -132,19 +140,20 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	}
 
 	base := ReplicaConfig{
-		Name:         cfg.Name,
-		Net:          cfg.Net,
-		Clock:        cfg.Clock,
-		Dir:          cfg.Dir,
-		Verifier:     cfg.Keys,
-		Delta:        cfg.Delta,
-		Kappa:        cfg.Kappa,
-		Sigma:        cfg.Sigma,
-		T1:           cfg.T1,
-		T2:           cfg.T2,
-		LocalName:    cfg.LocalName,
-		Watchers:     cfg.Watchers,
-		OnFailSignal: cfg.OnFailSignal,
+		Name:            cfg.Name,
+		Net:             cfg.Net,
+		Clock:           cfg.Clock,
+		Dir:             cfg.Dir,
+		Verifier:        cfg.Keys,
+		Delta:           cfg.Delta,
+		Kappa:           cfg.Kappa,
+		Sigma:           cfg.Sigma,
+		T1:              cfg.T1,
+		T2:              cfg.T2,
+		StrictDeadlines: cfg.StrictDeadlines,
+		LocalName:       cfg.LocalName,
+		Watchers:        cfg.Watchers,
+		OnFailSignal:    cfg.OnFailSignal,
 	}
 
 	leaderCfg := base
@@ -161,6 +170,11 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	followerCfg.Signer = followerSigner
 	followerCfg.PeerFailEnv = envByLeader
 	followerCfg.Machine = cfg.NewMachine()
+
+	if cfg.Trace != nil {
+		leaderCfg.Trace = cfg.Trace.Ring(string(LeaderID(cfg.Name)))
+		followerCfg.Trace = cfg.Trace.Ring(string(FollowerID(cfg.Name)))
+	}
 
 	if cfg.NewVerifier != nil {
 		// One verifier per replica: the two FSOs are separate nodes, so
@@ -213,6 +227,15 @@ func NewClient(name string, addr transport.Addr, signer sig.Signer, net transpor
 
 // Send signs and submits one input to every replica of dest.
 func (c *Client) Send(dest, kind string, body []byte) error {
+	_, err := c.SendSeq(dest, kind, body)
+	return err
+}
+
+// SendSeq is Send returning the per-client sequence the input was
+// submitted under — the number that appears in the replicas' dedupe keys
+// ("c|<client>|<seq>"), so callers can correlate a submission with the
+// order/compare trace events it produces.
+func (c *Client) SendSeq(dest, kind string, body []byte) (uint64, error) {
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
@@ -221,19 +244,19 @@ func (c *Client) Send(dest, kind string, body []byte) error {
 	ci := ClientInput{Client: c.name, Seq: seq, Kind: kind, Body: body}
 	env, err := sig.SignEnvelope(c.signer, ci.Marshal())
 	if err != nil {
-		return fmt.Errorf("failsignal: client %q signing input: %w", c.name, err)
+		return seq, fmt.Errorf("failsignal: client %q signing input: %w", c.name, err)
 	}
 	payload := encodeClientPayload(env)
 	addrs, err := c.dir.DestAddrs(dest)
 	if err != nil {
-		return err
+		return seq, err
 	}
 	for _, a := range addrs {
 		if err := c.net.Send(c.addr, a, MsgNew, payload); err != nil {
-			return err
+			return seq, err
 		}
 	}
-	return nil
+	return seq, nil
 }
 
 // Receiver is the plain-endpoint counterpart of an FS process's output
@@ -247,6 +270,7 @@ type Receiver struct {
 	verifier sig.Verifier
 	onOutput func(source string, out sm.Output)
 	onFail   func(source string)
+	ring     *trace.Ring
 
 	mu   sync.Mutex
 	seen map[string]struct{}
@@ -263,6 +287,11 @@ func NewReceiver(dir *Directory, verifier sig.Verifier, onOutput func(string, sm
 	}
 }
 
+// SetTrace attaches the invocation-layer node's event ring. The receiver
+// emits output-acceptance, duplicate-suppression, and fail-signal events
+// into it — the interceptor side of the trace plane.
+func (rc *Receiver) SetTrace(ring *trace.Ring) { rc.ring = ring }
+
 // Handle is the netsim handler for the receiving endpoint.
 func (rc *Receiver) Handle(msg transport.Message) {
 	if msg.Kind != MsgOut && msg.Kind != MsgNew {
@@ -273,15 +302,24 @@ func (rc *Receiver) Handle(msg transport.Message) {
 		return
 	}
 	if err := rc.dir.VerifyFromFS(p.body.Source, p.dbl, rc.verifier); err != nil {
+		rc.ring.Emit(trace.EvReject, p.body.Seq, 0, p.body.Source)
 		return
 	}
 	key, _ := p.dedupeKey()
 	rc.mu.Lock()
 	if _, dup := rc.seen[key]; dup {
+		rc.ring.Emit(trace.EvRxDup, p.body.Seq, 0, p.body.Source)
 		rc.mu.Unlock()
 		return
 	}
 	rc.seen[key] = struct{}{}
+	// Accept events are emitted under the lock so the ring's order
+	// matches acceptance order across concurrent link deliveries.
+	if p.body.FailSignal {
+		rc.ring.Emit(trace.EvRxFail, 0, 0, p.body.Source)
+	} else {
+		rc.ring.Emit(trace.EvRxOutput, p.body.Seq, 0, p.body.Source)
+	}
 	rc.mu.Unlock()
 
 	if p.body.FailSignal {

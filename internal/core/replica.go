@@ -8,6 +8,7 @@ import (
 	"fsnewtop/internal/clock"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 )
 
@@ -82,9 +83,33 @@ type ReplicaConfig struct {
 	// Watchers are logical names additionally notified when this replica
 	// emits a fail-signal ("all entities that are expecting a response").
 	Watchers []string
+	// StrictDeadlines restores the paper-literal fixed comparison and t2
+	// deadlines: a deadline that expires fail-signals, full stop. The
+	// default (false) is progress-aware: an expired deadline whose peer
+	// demonstrably kept working — new in-order compare candidates kept
+	// arriving, or the leader's fwd stream kept advancing — is re-armed
+	// for a fresh window instead of declaring the pair failed. On a real
+	// network, transport backpressure can delay the pair's "synchronous"
+	// streams far past any fixed bound while both nodes are healthy and
+	// output-identical; the paper's A2/A3/A4 assumptions hold on its
+	// dedicated LAN but not on a shared, congested wire. Crash detection
+	// is unaffected (a dead peer makes no progress, so the deadline still
+	// fires after one window), and divergence detection stays prompt via
+	// the compare stream's in-order skip check (see onSingle). A faulty
+	// peer that keeps doing valid new work while withholding one item is
+	// still caught: the compare stream's skip check fires as soon as its
+	// candidates pass the withheld sequence, and the order stream caps
+	// its grants at maxOrderGrants with a re-relay per grant, bounding
+	// that detection at (1+maxOrderGrants)·t2 — all at the gain of not
+	// converting scheduler or socket stalls into false node deaths.
+	StrictDeadlines bool
 	// OnFailSignal, if set, is invoked once with the reason when this
 	// replica starts fail-signalling. Test hook.
 	OnFailSignal func(reason string)
+	// Trace, if non-nil, is this FSO's protocol event ring. The replica,
+	// its watchdog, and (when the wrapped machine implements
+	// trace.Traceable) the machine itself all emit into it.
+	Trace *trace.Ring
 }
 
 func (c *ReplicaConfig) fillDefaults() {
@@ -154,14 +179,29 @@ type Replica struct {
 	seen       map[string]struct{}
 	ordIdx     uint64 // leader: next order index to assign
 	nextFwdIdx uint64 // follower: next expected order index
-	lastTick   time.Time
-	icmp       map[uint64]*icmpEntry
-	ecmp       map[uint64]ecmpEntry
-	irmp       map[string]*irmpEntry
-	failed     bool
-	failDbl    sig.Double // cached double-signed fail-signal, set on failure
-	closed     bool
-	stats      ReplicaStats
+	// icmpOrder lists outstanding ICMP sequences in insertion (= output)
+	// order; heads whose entry has since matched are discarded lazily, so
+	// the oldest outstanding sequence — the skip check's only need — is
+	// amortized O(1) instead of a map scan per inbound candidate.
+	icmpOrder []uint64
+	// cmpProgress counts the peer Compare stream's forward progress: the
+	// number of distinct, new output sequences whose single-signed
+	// candidate has arrived. ordProgress (follower only) counts accepted
+	// non-tick fwd inputs: heartbeat ticks are content-free and must not
+	// defer the t2 deadline, or a leader that drops a relayed input while
+	// ticking along would never be detected. Deadline watches snapshot
+	// these at arm time; see StrictDeadlines.
+	cmpProgress uint64
+	lastPeerSeq uint64 // highest peer candidate sequence seen
+	ordProgress uint64
+	lastTick    time.Time
+	icmp        map[uint64]*icmpEntry
+	ecmp        map[uint64]ecmpEntry
+	irmp        map[string]*irmpEntry
+	failed      bool
+	failDbl     sig.Double // cached double-signed fail-signal, set on failure
+	closed      bool
+	stats       ReplicaStats
 }
 
 // NewReplica constructs and starts a replica: it registers the network
@@ -188,7 +228,10 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		ecmp:   make(map[uint64]ecmpEntry),
 		irmp:   make(map[string]*irmpEntry),
 	}
-	r.wd.init(cfg.Clock, r.stop, &r.wg, r.watchFired)
+	r.wd.init(cfg.Clock, r.stop, &r.wg, r.watchFired, cfg.Trace)
+	if t, ok := cfg.Machine.(trace.Traceable); ok && cfg.Trace != nil {
+		t.SetTrace(cfg.Trace)
+	}
 	cfg.Net.Register(cfg.Self, r.handle)
 	r.wg.Add(1)
 	go r.machineLoop()
@@ -251,6 +294,7 @@ func (r *Replica) shutdown() {
 		r.wd.cancel(e.w)
 	}
 	r.icmp = map[uint64]*icmpEntry{}
+	r.icmpOrder = nil
 	for _, e := range r.irmp {
 		close(e.cancel)
 		r.wd.cancel(e.w)
@@ -337,6 +381,9 @@ func (r *Replica) leaderAccept(key string, raw []byte, p newPayload) {
 	}
 	if _, dup := r.seen[key]; dup {
 		r.stats.Duplicates++
+		// Emitted under the lock: ring order must equal protocol order,
+		// or a post-mortem timeline shows inversions that never happened.
+		r.cfg.Trace.Emit(trace.EvOrderDup, 0, 0, key)
 		r.mu.Unlock()
 		return
 	}
@@ -347,6 +394,7 @@ func (r *Replica) leaderAccept(key string, raw []byte, p newPayload) {
 	fp := fwdPayload{Index: idx, Raw: raw}
 	_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgFwd, fp.marshal())
 	r.queue.push(orderedInput{in: p.toInput(), submitted: r.cfg.Clock.Now()})
+	r.cfg.Trace.Emit(trace.EvOrder, idx, 0, key)
 	r.mu.Unlock()
 }
 
@@ -361,17 +409,20 @@ func (r *Replica) followerAccept(key string, raw []byte) {
 	}
 	if _, dup := r.seen[key]; dup {
 		r.stats.Duplicates++
+		r.cfg.Trace.Emit(trace.EvOrderDup, 0, 0, key)
 		r.mu.Unlock()
 		return
 	}
 	if _, pending := r.irmp[key]; pending {
 		r.stats.Duplicates++
+		r.cfg.Trace.Emit(trace.EvOrderDup, 0, 0, key)
 		r.mu.Unlock()
 		return
 	}
 	e := &irmpEntry{raw: raw, cancel: make(chan struct{}), due: r.cfg.Clock.Now().Add(r.cfg.T1)}
 	r.irmp[key] = e
 	r.relayq.push(relayItem{key: key, e: e})
+	r.cfg.Trace.Emit(trace.EvRelayQueued, 0, 0, key)
 	r.mu.Unlock()
 }
 
@@ -411,6 +462,7 @@ func (r *Replica) relayLoop() {
 			continue
 		}
 		r.stats.Relayed++
+		r.cfg.Trace.Emit(trace.EvRelaySent, 0, 0, item.key)
 		r.mu.Unlock()
 		_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgRelay, item.e.raw)
 
@@ -419,7 +471,7 @@ func (r *Replica) relayLoop() {
 		// ordered it during the Send.
 		r.mu.Lock()
 		if _, still := r.irmp[item.key]; still && !r.failed && !r.closed {
-			item.e.w = r.wd.arm(watchOrder, item.key, 0, r.cfg.T2)
+			item.e.w = r.wd.arm(watchOrder, item.key, 0, r.cfg.T2, r.ordProgress)
 		}
 		r.mu.Unlock()
 	}
@@ -472,6 +524,7 @@ func (r *Replica) onFwd(msg transport.Message) {
 		return
 	}
 	r.nextFwdIdx++
+	r.ordProgress++
 	if _, dup := r.seen[key]; dup {
 		// The leader ordered the same input twice: out-of-spec behaviour.
 		r.mu.Unlock()
@@ -486,6 +539,7 @@ func (r *Replica) onFwd(msg transport.Message) {
 	}
 	r.stats.Ordered++
 	r.queue.push(orderedInput{in: p.toInput(), submitted: r.cfg.Clock.Now()})
+	r.cfg.Trace.Emit(trace.EvOrder, fp.Index, 0, key)
 	r.mu.Unlock()
 }
 
@@ -602,6 +656,7 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 		match := peer.digest == digest
 		if match {
 			r.stats.Matched++
+			r.cfg.Trace.Emit(trace.EvCompareMatch, seq, 0, "")
 		}
 		r.mu.Unlock()
 		if !match {
@@ -612,22 +667,66 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 		return
 	}
 	e := &icmpEntry{digest: digest, dests: out.To}
-	e.w = r.wd.arm(watchCompare, "", seq, deadline)
+	e.w = r.wd.arm(watchCompare, "", seq, deadline, r.cmpProgress)
 	r.icmp[seq] = e
+	r.icmpOrder = append(r.icmpOrder, seq)
+	r.cfg.Trace.Emit(trace.EvCompareArm, seq, uint64(deadline), "")
 	r.mu.Unlock()
 }
 
-// watchFired turns an expired watchdog deadline into the corresponding
-// fail-signal. It runs on the watchdog goroutine; failSignal is idempotent
-// and no-ops on already-failed or closed replicas, which also covers the
-// benign race where a match lands between a watch expiring and firing
-// (the goroutine-per-deadline implementation had the same window between
-// its timer firing and its select waking).
+// watchFired handles an expired watchdog deadline. It re-validates the
+// deadline under the replica lock before signalling: the watched entry
+// may have been satisfied between the watch expiring and this callback
+// running (the old code leaned on failSignal idempotency there, which
+// only covered replicas that had already failed — a match racing an
+// expiry could still kill a healthy pair), and under the default
+// progress-aware discipline an expiry against a demonstrably live peer
+// re-arms for a fresh window instead of fail-signalling (see
+// ReplicaConfig.StrictDeadlines).
 func (r *Replica) watchFired(w *watch) {
 	switch w.kind {
 	case watchCompare:
+		r.mu.Lock()
+		e, ok := r.icmp[w.oseq]
+		if !ok || r.failed || r.closed {
+			r.mu.Unlock()
+			return // matched or shut down between expiry and firing
+		}
+		if !r.cfg.StrictDeadlines && r.cmpProgress != w.mark {
+			e.w = r.wd.arm(watchCompare, "", w.oseq, w.d, r.cmpProgress)
+			r.cfg.Trace.Emit(trace.EvWatchRearm, w.oseq, uint64(w.d), "")
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		r.cfg.Trace.Emit(trace.EvCompareFire, w.oseq, uint64(w.d), "")
 		r.failSignal(fmt.Sprintf("output %d not matched within %v", w.oseq, w.d))
 	case watchOrder:
+		r.mu.Lock()
+		e, ok := r.irmp[w.key]
+		if !ok || r.failed || r.closed {
+			r.mu.Unlock()
+			return // ordered or shut down between expiry and firing
+		}
+		if !r.cfg.StrictDeadlines && r.ordProgress != w.mark && w.grants < maxOrderGrants {
+			// Unlike the compare stream — whose in-order skip check makes
+			// unbounded re-arming safe — the fwd stream carries no signal
+			// that the leader has irrevocably passed our input. So each
+			// grant re-sends the relay (a correct leader deduplicates;
+			// one lost to a reconnect is replaced) and the grant count is
+			// capped: a leader that keeps ordering other traffic but has
+			// not ordered this input after maxOrderGrants re-relays is
+			// faulty, and detection stays bounded by (1+maxOrderGrants)·t2.
+			nw := r.wd.arm(watchOrder, w.key, 0, w.d, r.ordProgress)
+			nw.grants = w.grants + 1
+			e.w = nw
+			_ = r.cfg.Net.Send(r.cfg.Self, r.cfg.Peer, MsgRelay, e.raw)
+			r.cfg.Trace.Emit(trace.EvWatchRearm, uint64(nw.grants), uint64(w.d), w.key)
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		r.cfg.Trace.Emit(trace.EvOrderFire, 0, uint64(r.cfg.T2), w.key)
 		r.failSignal(fmt.Sprintf("leader did not order input %s within t2=%v", w.key, r.cfg.T2))
 	}
 }
@@ -665,12 +764,32 @@ func (r *Replica) onSingle(msg transport.Message) {
 		r.mu.Unlock()
 		return
 	}
+	// The peer emits candidates in output-sequence order and the sync
+	// link is FIFO, so a candidate for Seq proves every candidate below
+	// Seq has been sent — and, within one incarnation, delivered. A local
+	// candidate still unmatched below Seq can therefore never match: the
+	// peer skipped it (machine divergence) or the link lost it (an A2
+	// violation). Either way the pair must signal, and promptly — this is
+	// what keeps divergence detection tight when expired deadlines are
+	// allowed to re-arm against a live peer.
+	if oldest, ok := r.icmpOldestLocked(); ok && oldest < body.Seq {
+		r.mu.Unlock()
+		r.failSignal(fmt.Sprintf("peer compare stream reached output %d, skipping unmatched output %d", body.Seq, oldest))
+		return
+	}
+	if body.Seq > r.lastPeerSeq {
+		r.lastPeerSeq = body.Seq
+		r.cmpProgress++
+	}
 	if e, ok := r.icmp[body.Seq]; ok {
 		r.wd.cancel(e.w)
 		delete(r.icmp, body.Seq)
 		match := digest == e.digest
 		if match {
 			r.stats.Matched++
+		}
+		if match {
+			r.cfg.Trace.Emit(trace.EvCompareMatch, body.Seq, 0, "")
 		}
 		dests := e.dests
 		r.mu.Unlock()
@@ -683,11 +802,31 @@ func (r *Replica) onSingle(msg transport.Message) {
 	}
 	r.ecmp[body.Seq] = ecmpEntry{env: env, digest: digest}
 	overflow := len(r.ecmp) > maxECMP
+	r.cfg.Trace.Emit(trace.EvComparePeer, body.Seq, 0, "")
 	r.mu.Unlock()
 	if overflow {
 		r.failSignal("peer flooded the external candidate pool")
 	}
 }
+
+// icmpOldestLocked returns the smallest outstanding ICMP sequence (false
+// when none). Matched heads are discarded as they are encountered; each
+// inserted sequence is popped at most once, so the amortized cost is
+// constant. Caller holds r.mu.
+func (r *Replica) icmpOldestLocked() (uint64, bool) {
+	for len(r.icmpOrder) > 0 {
+		if _, ok := r.icmp[r.icmpOrder[0]]; ok {
+			return r.icmpOrder[0], true
+		}
+		r.icmpOrder = r.icmpOrder[1:]
+	}
+	return 0, false
+}
+
+// maxOrderGrants caps how many fresh t2 windows an expired order
+// deadline may be granted on evidence of leader progress, bounding
+// detection of a selectively-starved input at (1+maxOrderGrants)·t2.
+const maxOrderGrants = 8
 
 // maxECMP bounds how far ahead of the local machine the peer's candidate
 // stream may run before the peer is considered faulty.
@@ -739,6 +878,7 @@ func (r *Replica) failSignal(reason string) {
 		return
 	}
 	r.failed = true
+	r.cfg.Trace.Emit(trace.EvFailSignal, 0, 0, reason)
 	destSet := make(map[string]struct{})
 	for _, e := range r.icmp {
 		r.wd.cancel(e.w)
@@ -747,6 +887,7 @@ func (r *Replica) failSignal(reason string) {
 		}
 	}
 	r.icmp = map[uint64]*icmpEntry{}
+	r.icmpOrder = nil
 	for _, e := range r.irmp {
 		close(e.cancel)
 		r.wd.cancel(e.w)
@@ -802,5 +943,6 @@ func (r *Replica) replyIfFailed(from transport.Addr) bool {
 func (r *Replica) countRejected() {
 	r.mu.Lock()
 	r.stats.Rejected++
+	r.cfg.Trace.Emit(trace.EvReject, 0, 0, "")
 	r.mu.Unlock()
 }

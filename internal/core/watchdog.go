@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fsnewtop/internal/clock"
+	"fsnewtop/internal/trace"
 )
 
 // watchKind says which protocol deadline a watch enforces.
@@ -21,14 +22,16 @@ const (
 
 // watch is one armed fail-signal deadline.
 type watch struct {
-	at   int64 // deadline, Unix nanos
-	seq  uint64
-	kind watchKind
-	key  string        // IRMP input key (watchOrder)
-	oseq uint64        // output sequence (watchCompare)
-	d    time.Duration // the deadline length, for the failure reason
-	done bool
-	pos  int // heap index, -1 once popped or cancelled
+	at     int64 // deadline, Unix nanos
+	seq    uint64
+	kind   watchKind
+	key    string        // IRMP input key (watchOrder)
+	oseq   uint64        // output sequence (watchCompare)
+	d      time.Duration // the deadline length, for the failure reason
+	mark   uint64        // peer-progress counter at arm time (re-arm decision)
+	grants uint8         // progress re-arms already granted (t2 backstop)
+	done   bool
+	pos    int // heap index, -1 once popped or cancelled
 }
 
 // watchdog schedules all of a replica's fail-signal deadlines on a single
@@ -43,6 +46,7 @@ type watchdog struct {
 	fire func(*watch)
 	stop <-chan struct{}
 	wg   *sync.WaitGroup
+	ring *trace.Ring
 
 	mu      sync.Mutex
 	heap    []*watch
@@ -51,11 +55,12 @@ type watchdog struct {
 	wake    chan struct{} // cap 1
 }
 
-func (wd *watchdog) init(clk clock.Clock, stop <-chan struct{}, wg *sync.WaitGroup, fire func(*watch)) {
+func (wd *watchdog) init(clk clock.Clock, stop <-chan struct{}, wg *sync.WaitGroup, fire func(*watch), ring *trace.Ring) {
 	wd.clk = clk
 	wd.stop = stop
 	wd.wg = wg
 	wd.fire = fire
+	wd.ring = ring
 	wd.wake = make(chan struct{}, 1)
 }
 
@@ -117,7 +122,10 @@ func (wd *watchdog) remove(i int) {
 }
 
 // arm schedules a deadline d from now and returns a cancellation handle.
-func (wd *watchdog) arm(kind watchKind, key string, oseq uint64, d time.Duration) *watch {
+// mark records the caller's peer-progress counter at arm time, so the
+// fire callback can tell a deadline that expired against a silent peer
+// from one that expired while the peer demonstrably kept working.
+func (wd *watchdog) arm(kind watchKind, key string, oseq uint64, d time.Duration, mark uint64) *watch {
 	wd.mu.Lock()
 	wd.seq++
 	w := &watch{
@@ -127,6 +135,7 @@ func (wd *watchdog) arm(kind watchKind, key string, oseq uint64, d time.Duration
 		key:  key,
 		oseq: oseq,
 		d:    d,
+		mark: mark,
 		pos:  len(wd.heap),
 	}
 	wd.heap = append(wd.heap, w)
@@ -153,13 +162,18 @@ func (wd *watchdog) cancel(w *watch) {
 		return
 	}
 	wd.mu.Lock()
+	disarmed := false
 	if !w.done {
 		w.done = true
 		if w.pos >= 0 {
 			wd.remove(w.pos)
+			disarmed = true
 		}
 	}
 	wd.mu.Unlock()
+	if disarmed {
+		wd.ring.Emit(trace.EvWatchCancel, w.oseq, 0, w.key)
+	}
 }
 
 // run drains due watches in deadline order and fires the ones still armed.
@@ -187,6 +201,7 @@ func (wd *watchdog) run() {
 
 		if len(due) > 0 {
 			for _, w := range due {
+				wd.ring.Emit(trace.EvWatchFire, w.oseq, uint64(w.d), w.key)
 				wd.fire(w)
 			}
 			clear(due)

@@ -35,6 +35,7 @@ import (
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sig"
 	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 )
 
@@ -62,6 +63,12 @@ type Fabric struct {
 	// NewSigner builds signers for Compare threads and invocation layers.
 	// Nil selects HMAC (fast; for benchmarks isolating protocol cost).
 	NewSigner func(id sig.ID) (sig.Signer, error)
+	// Trace, if non-nil, is the deployment's protocol trace registry.
+	// Every member built on the fabric registers one event ring per
+	// modeled node (leader FSO, follower FSO, invocation endpoint), so a
+	// stall dump is a merged causal timeline across the whole cluster.
+	// Set it before the first New call.
+	Trace *trace.Registry
 
 	mu        sync.Mutex
 	verifiers []*sig.CachedVerifier
@@ -152,6 +159,10 @@ type Config struct {
 	TickInterval time.Duration
 	// SyncLink, if non-nil, is applied to the pair's leader↔follower link.
 	SyncLink *transport.Profile
+	// StrictDeadlines selects the paper-literal fixed pair deadlines; see
+	// failsignal.ReplicaConfig.StrictDeadlines. Default false
+	// (progress-aware, wedge-immune on congested real networks).
+	StrictDeadlines bool
 	// PoolSize is the invocation-side ORB pool size (0 = default 10).
 	PoolSize int
 	// GC tunes the protocol machine. Self and Mode are set here.
@@ -235,8 +246,13 @@ func New(cfg Config) (*NSO, error) {
 	// receives the pair's double-signed outputs.
 	inv := invName(cfg.Name)
 	invAddr := InvAddr(cfg.Name)
+	var invRing *trace.Ring
+	if fab.Trace != nil {
+		invRing = fab.Trace.Ring(inv)
+	}
 	// The invocation layer runs on the application node: its own memo.
 	receiver := failsignal.NewReceiver(fab.Dir, newVerifier(), n.onOutput, n.onFailSignal)
+	receiver.SetTrace(invRing)
 	fab.Net.Register(invAddr, receiver.Handle)
 	fab.Dir.RegisterPlain(inv, invAddr)
 
@@ -256,22 +272,24 @@ func New(cfg Config) (*NSO, error) {
 	gcCfg.Mode = group.SuspectFailSignal
 
 	pair, err := failsignal.NewPair(failsignal.PairConfig{
-		Name:         cfg.Name,
-		NewMachine:   func() sm.Machine { return group.New(gcCfg) },
-		Net:          fab.Net,
-		Clock:        fab.Clock,
-		Dir:          fab.Dir,
-		Keys:         fab.Keys,
-		NewSigner:    newSigner,
-		NewVerifier:  func() sig.Verifier { return newVerifier() },
-		Delta:        cfg.Delta,
-		Kappa:        cfg.Kappa,
-		Sigma:        cfg.Sigma,
-		TickInterval: cfg.TickInterval,
-		LocalName:    inv,
-		Watchers:     cfg.Peers,
-		SyncLink:     cfg.SyncLink,
-		OnFailSignal: cfg.OnFailSignal,
+		Name:            cfg.Name,
+		NewMachine:      func() sm.Machine { return group.New(gcCfg) },
+		Net:             fab.Net,
+		Clock:           fab.Clock,
+		Dir:             fab.Dir,
+		Keys:            fab.Keys,
+		NewSigner:       newSigner,
+		NewVerifier:     func() sig.Verifier { return newVerifier() },
+		Delta:           cfg.Delta,
+		Kappa:           cfg.Kappa,
+		Sigma:           cfg.Sigma,
+		TickInterval:    cfg.TickInterval,
+		StrictDeadlines: cfg.StrictDeadlines,
+		LocalName:       inv,
+		Watchers:        cfg.Peers,
+		SyncLink:        cfg.SyncLink,
+		OnFailSignal:    cfg.OnFailSignal,
+		Trace:           fab.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -298,9 +316,14 @@ func New(cfg Config) (*NSO, error) {
 			if req.Target != gcRef {
 				return next(req)
 			}
-			if err := n.client.Send(cfg.Name, req.Method, req.Arg.Bytes()); err != nil {
+			seq, err := n.client.SendSeq(cfg.Name, req.Method, req.Arg.Bytes())
+			if err != nil {
+				// No reissue event: recording a submission that never
+				// reached the pair would point a stall post-mortem at
+				// the replicas when the client path failed.
 				return orb.Reply{Err: err.Error()}
 			}
+			invRing.Emit(trace.EvReissue, seq, 0, req.Method)
 			return orb.Reply{}
 		}
 	})

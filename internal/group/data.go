@@ -1,6 +1,10 @@
 package group
 
-import "sort"
+import (
+	"sort"
+
+	"fsnewtop/internal/trace"
+)
 
 // onMcast handles a local multicast request: build the DataMsg for the
 // requested service, disseminate it, and run the service's send-side
@@ -44,6 +48,7 @@ func (m *Machine) onMcast(req McastReq) {
 	case TotalSym:
 		g.clock++
 		d.TS = g.clock
+		m.trace.Emit(trace.EvRoundOpen, d.TS, d.SenderSeq, m.cfg.Self)
 		m.emit(KindData, others, d.Marshal())
 		g.insertPendingSym(d)
 		m.drainSym(g)
@@ -128,11 +133,13 @@ func (m *Machine) acceptData(g *groupState, d DataMsg) {
 		if d.TS > g.clock {
 			g.clock = d.TS
 		}
+		m.trace.Emit(trace.EvRoundOpen, d.TS, d.SenderSeq, d.Origin)
 		g.insertPendingSym(d)
 		// The logical acknowledgement that makes the symmetric protocol
 		// message-intensive: every accepted message is acked to the whole
 		// group.
 		ack := AckMsg{Group: g.name, TS: g.clock, SendSeqHW: g.outSeq}
+		m.trace.Emit(trace.EvAckOut, ack.TS, ack.SendSeqHW, "")
 		m.emit(KindAck, g.others(m.cfg.Self), ack.Marshal())
 		m.drainSym(g)
 

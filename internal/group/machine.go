@@ -6,6 +6,7 @@ import (
 
 	failsignal "fsnewtop/internal/core"
 	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 )
 
 // SuspectorMode selects how the machine learns about failures.
@@ -38,6 +39,11 @@ type Config struct {
 	// ViewRetryAfter bounds how long a member waits on a stalled view
 	// change before (re-)proposing. Default 1s.
 	ViewRetryAfter time.Duration
+	// Trace, if non-nil, receives the machine's protocol events (round
+	// open/close/blocked, acks, suspicions, view changes, sequencer
+	// handoffs). Tracing never influences outputs, so two replicas of one
+	// machine stay output-identical (R1) regardless of their rings.
+	Trace *trace.Ring
 }
 
 func (c *Config) fillDefaults() {
@@ -69,6 +75,8 @@ type Machine struct {
 	lastPing  time.Time
 	// outs accumulates the current step's outputs.
 	outs []sm.Output
+	// trace is the event ring (nil when the deployment is untraced).
+	trace *trace.Ring
 }
 
 // New returns a GC machine for the given configuration.
@@ -76,10 +84,15 @@ func New(cfg Config) *Machine {
 	cfg.fillDefaults()
 	return &Machine{
 		cfg:       cfg,
+		trace:     cfg.Trace,
 		groups:    make(map[string]*groupState),
 		lastHeard: make(map[string]time.Time),
 	}
 }
+
+// SetTrace implements trace.Traceable: a fail-signal pair hands each
+// machine replica its own FSO's ring after construction.
+func (m *Machine) SetTrace(r *trace.Ring) { m.trace = r }
 
 var _ sm.Machine = (*Machine)(nil)
 
@@ -287,6 +300,7 @@ func (m *Machine) suspectEverywhere(peer string) {
 		g := m.groups[name]
 		if g.isMember(peer) && !g.suspects[peer] {
 			g.suspects[peer] = true
+			m.trace.Emit(trace.EvSuspect, 0, 0, peer)
 			m.maybePropose(g)
 		}
 	}

@@ -1,6 +1,10 @@
 package group
 
-import "sort"
+import (
+	"sort"
+
+	"fsnewtop/internal/trace"
+)
 
 // maybePropose starts (or restarts) a view change if this member is the
 // coordinator — the least non-suspected member — for the current suspect
@@ -30,6 +34,7 @@ func (m *Machine) propose(g *groupState, candidate []string) {
 		acks:      make(map[string]ViewAck, len(candidate)),
 		startedAt: m.now,
 	}
+	m.trace.Emit(trace.EvViewPropose, g.change.viewID, g.change.epoch, m.cfg.Self)
 	prop := ViewProp{Group: g.name, ViewID: g.change.viewID, Epoch: g.change.epoch, Members: candidate}
 	to := make([]string, 0, len(candidate)-1)
 	for _, c := range candidate {
@@ -90,6 +95,7 @@ func (m *Machine) onViewProp(from string, v ViewProp) {
 	case g.change == nil || v.Epoch > g.change.epoch ||
 		(v.Epoch == g.change.epoch && from < g.change.members[0]):
 		g.change = &viewChange{viewID: v.ViewID, epoch: v.Epoch, members: v.Members, startedAt: m.now}
+		m.trace.Emit(trace.EvViewPropose, v.ViewID, v.Epoch, from)
 	default:
 		return
 	}
@@ -118,6 +124,7 @@ func (m *Machine) onViewAck(from string, v ViewAck) {
 		return
 	}
 	c.acks[from] = v
+	m.trace.Emit(trace.EvViewAck, v.ViewID, v.Epoch, from)
 	m.checkInstall(g)
 }
 
@@ -172,6 +179,8 @@ func (m *Machine) onViewInstall(from string, v ViewInstall) {
 // doInstall delivers the flush set in timestamp order, commits the new
 // membership, resets the sequencer state, and announces the view locally.
 func (m *Machine) doInstall(g *groupState, v ViewInstall) {
+	prevSequencer := g.sequencer()
+	m.trace.Emit(trace.EvViewInstall, v.ViewID, uint64(len(v.Flush)), "")
 	sortFlush(v.Flush)
 	for _, d := range v.Flush {
 		s := g.stream(d.Origin)
@@ -179,6 +188,7 @@ func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 			continue
 		}
 		s.symDelivered = d.SenderSeq
+		m.trace.Emit(trace.EvRoundClose, d.TS, d.SenderSeq, d.Origin)
 		m.deliver(g, d.Origin, TotalSym, d.Payload)
 	}
 
@@ -194,6 +204,10 @@ func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 		} else {
 			delete(g.suspects, s) // removed: no longer a member to suspect
 		}
+	}
+
+	if seq := g.sequencer(); seq != prevSequencer {
+		m.trace.Emit(trace.EvSeqHandoff, v.ViewID, 0, seq)
 	}
 
 	// Asymmetric order restarts under the new sequencer's epoch.

@@ -102,6 +102,15 @@ type groupState struct {
 	asymData        map[asymKey]DataMsg
 	asymByGlobal    map[uint64]asymKey
 
+	// lastBlocked remembers the last round-blocked frontier emitted to
+	// the trace, so an unchanged stall is reported once per change rather
+	// than once per re-evaluation. Trace-only state: never read by
+	// protocol logic, so replicas stay output-identical (R1).
+	lastBlocked struct {
+		headTS, minEff uint64
+		laggard        string
+	}
+
 	// Membership.
 	suspects map[string]bool
 	change   *viewChange
@@ -199,11 +208,14 @@ func (g *groupState) recordSent(d DataMsg) {
 	}
 }
 
-// minEffLastTS is the minimum effective observed clock across all current
-// members; self's own clock stands in for its stream. Symmetric-order
-// messages with TS at or below this bound are safe to deliver.
-func (g *groupState) minEffLastTS(self string) uint64 {
+// minEffMember returns the member holding back the symmetric order — the
+// one with the minimum effective observed clock — and that minimum
+// (self's own clock stands in for its stream). Symmetric-order messages
+// with TS at or below the minimum are safe to deliver. Ties resolve to
+// the first member in sorted order, so the result is deterministic.
+func (g *groupState) minEffMember(self string) (string, uint64) {
 	minTS := ^uint64(0)
+	who := ""
 	for _, m := range g.members {
 		var ts uint64
 		if m == self {
@@ -212,10 +224,10 @@ func (g *groupState) minEffLastTS(self string) uint64 {
 			ts = g.stream(m).effLastTS()
 		}
 		if ts < minTS {
-			minTS = ts
+			minTS, who = ts, m
 		}
 	}
-	return minTS
+	return who, minTS
 }
 
 // sortedKeys returns the map's keys in sorted order. Every iteration over

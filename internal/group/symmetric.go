@@ -1,5 +1,7 @@
 package group
 
+import "fsnewtop/internal/trace"
+
 // onAck records a symmetric-order logical acknowledgement and re-checks
 // deliverability.
 func (m *Machine) onAck(from string, a AckMsg) {
@@ -11,6 +13,7 @@ func (m *Machine) onAck(from string, a AckMsg) {
 	if a.TS > s.ackTS {
 		s.ackTS, s.ackHW = a.TS, a.SendSeqHW
 	}
+	m.trace.Emit(trace.EvAckIn, a.TS, a.SendSeqHW, from)
 	m.drainSym(g)
 }
 
@@ -23,7 +26,15 @@ func (m *Machine) onAck(from string, a AckMsg) {
 func (m *Machine) drainSym(g *groupState) {
 	for len(g.pendingSym) > 0 {
 		head := g.pendingSym[0]
-		if head.TS > g.minEffLastTS(m.cfg.Self) {
+		if laggard, minEff := g.minEffMember(m.cfg.Self); head.TS > minEff {
+			// Emit the stall frontier once per change per group, not once
+			// per re-evaluation: the interesting trace fact is what the
+			// head is waiting for, and on whom.
+			if m.trace != nil && (g.lastBlocked.headTS != head.TS ||
+				g.lastBlocked.minEff != minEff || g.lastBlocked.laggard != laggard) {
+				g.lastBlocked.headTS, g.lastBlocked.minEff, g.lastBlocked.laggard = head.TS, minEff, laggard
+				m.trace.Emit(trace.EvRoundBlocked, head.TS, minEff, g.name+":"+laggard)
+			}
 			return
 		}
 		g.pendingSym = g.pendingSym[1:]
@@ -32,6 +43,7 @@ func (m *Machine) drainSym(g *groupState) {
 			continue // already delivered via a view-change flush
 		}
 		s.symDelivered = head.SenderSeq
+		m.trace.Emit(trace.EvRoundClose, head.TS, head.SenderSeq, head.Origin)
 		m.deliver(g, head.Origin, TotalSym, head.Payload)
 	}
 }

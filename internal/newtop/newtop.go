@@ -27,6 +27,7 @@ import (
 	"fsnewtop/internal/group"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 )
 
@@ -87,6 +88,9 @@ type Config struct {
 	// GC tunes the protocol machine (suspector intervals etc.). Self and
 	// Mode are set by the NSO.
 	GC group.Config
+	// Trace, if non-nil, registers one event ring for this member's GC
+	// machine — the crash-tolerant half of the protocol trace plane.
+	Trace *trace.Registry
 }
 
 // NSO is a crash-tolerant NewTOP member.
@@ -125,6 +129,9 @@ func New(cfg Config) (*NSO, error) {
 	gcCfg := cfg.GC
 	gcCfg.Self = cfg.Name
 	gcCfg.Mode = group.SuspectPing
+	if cfg.Trace != nil {
+		gcCfg.Trace = cfg.Trace.Ring(cfg.Name)
+	}
 
 	o, err := orb.New(orb.Config{
 		Addr:        NodeAddr(cfg.Name),

@@ -82,9 +82,15 @@ func (p *peer) stop() {
 }
 
 // run is the writer loop: drain queued frames in order, dialing (and
-// re-dialing after a failure) on demand. A frame that cannot be written
-// even after one fresh redial is dropped and counted; the layers above
-// already tolerate the asynchronous network's losses via resends.
+// re-dialing after a failure) on demand. A whole drained batch goes to
+// the kernel as one vectored write (writev via net.Buffers) instead of
+// one syscall per frame: under the FS protocol's fan-out bursts the
+// per-frame discipline meant thousands of 1 KiB segments per
+// millisecond, which saturated the connection and let TCP flow control
+// freeze it in ~200 ms quanta — the round-boundary wedge's transport
+// half. Frames that cannot be written even after one fresh redial are
+// dropped and counted; the layers above already tolerate the
+// asynchronous network's losses via resends.
 func (p *peer) run() {
 	defer p.t.wg.Done()
 	for {
@@ -100,29 +106,50 @@ func (p *peer) run() {
 		p.queue = nil
 		p.mu.Unlock()
 
-		for _, frame := range batch {
-			if !p.writeFrame(frame) {
-				p.t.dropped.Add(1)
-			}
+		if dropped := p.writeBatch(batch); dropped > 0 {
+			p.t.dropped.Add(uint64(dropped))
 		}
 	}
 }
 
-// writeFrame writes one frame, reconnecting on send: a stale/broken
-// connection gets exactly one fresh redial before the frame is declared
-// lost.
-func (p *peer) writeFrame(frame []byte) bool {
-	for attempt := 0; attempt < 2; attempt++ {
-		conn := p.ensureConn(attempt > 0)
+// writeBatch writes the frames in one vectored write per attempt,
+// reconnecting on failure. The retry budget is two consecutive
+// attempts WITHOUT progress — an attempt that lands at least one frame
+// resets it — so a connection flapping during a large drain keeps its
+// per-frame resilience (the old one-write-per-frame loop redialed per
+// frame) instead of shedding the whole remainder on the second break.
+// Returns how many frames were dropped. Recovery is frame-granular: a
+// frame the broken connection accepted only partially is resent whole on
+// the fresh one — its receiver died with the connection, so no duplicate
+// can reach a live reader (and the per-link sequence watermark would
+// discard one anyway).
+func (p *peer) writeBatch(batch [][]byte) int {
+	redial := false
+	for noProgress := 0; len(batch) > 0 && noProgress < 2; noProgress++ {
+		conn := p.ensureConn(redial)
+		redial = true
 		if conn == nil {
 			continue
 		}
-		if _, err := conn.Write(frame); err == nil {
-			return true
+		bufs := make(net.Buffers, len(batch))
+		copy(bufs, batch)
+		n, err := bufs.WriteTo(conn)
+		if err == nil {
+			return 0
+		}
+		// Trim the fully-written prefix off the retry batch.
+		progressed := false
+		for n > 0 && len(batch) > 0 && int64(len(batch[0])) <= n {
+			n -= int64(len(batch[0]))
+			batch = batch[1:]
+			progressed = true
+		}
+		if progressed {
+			noProgress = -1
 		}
 		p.dropConn(conn)
 	}
-	return false
+	return len(batch)
 }
 
 // ensureConn returns the live connection, dialing if absent. fresh forces

@@ -125,15 +125,26 @@ type Config struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes. Zero means 16 MiB.
 	MaxFrame int
+	// ConnsPerPeer is how many parallel TCP connections (each with its
+	// own writer goroutine) this process opens to one remote endpoint.
+	// Links are hashed onto connections by (From,To), so per-link FIFO is
+	// untouched while one congested stream can no longer head-of-line
+	// block every other link to that endpoint — the failure mode behind
+	// the FS-over-TCP round-boundary wedge: a single shared connection,
+	// saturated by the protocol's fan-out bursts, froze in TCP
+	// flow-control quanta (~200 ms on Linux loopback) and the pair's
+	// "synchronous" fwd/single streams froze with it. Zero means 4.
+	ConnsPerPeer int
 }
 
 // Transport is a TCP-backed transport.Transport for one process.
 type Transport struct {
-	book        *AddrBook
-	advertise   string
-	ln          net.Listener
-	dialTimeout time.Duration
-	maxFrame    int
+	book         *AddrBook
+	advertise    string
+	ln           net.Listener
+	dialTimeout  time.Duration
+	maxFrame     int
+	connsPerPeer int
 	// epoch identifies this Transport incarnation on the wire (its start
 	// time): receivers use it to tell a restarted sender (sequence
 	// numbers legitimately restarting) from a reconnect replay.
@@ -141,7 +152,7 @@ type Transport struct {
 
 	mu       sync.Mutex
 	handlers map[transport.Addr]transport.Handler
-	peers    map[string]*peer
+	peers    map[peerKey]*peer
 	inbound  map[net.Conn]struct{}
 
 	// links holds one inbound dispatch queue per (From,To) link. Each
@@ -195,7 +206,7 @@ func New(cfg Config) (*Transport, error) {
 		maxFrame:    cfg.MaxFrame,
 		epoch:       uint64(time.Now().UnixNano()),
 		handlers:    make(map[transport.Addr]transport.Handler),
-		peers:       make(map[string]*peer),
+		peers:       make(map[peerKey]*peer),
 		inbound:     make(map[net.Conn]struct{}),
 		links:       make(map[linkKey]*linkQueue),
 	}
@@ -210,6 +221,13 @@ func New(cfg Config) (*Transport, error) {
 	}
 	if t.maxFrame == 0 {
 		t.maxFrame = 16 << 20
+	}
+	t.connsPerPeer = cfg.ConnsPerPeer
+	if t.connsPerPeer == 0 {
+		t.connsPerPeer = 4
+	}
+	if t.connsPerPeer < 1 {
+		t.connsPerPeer = 1
 	}
 	for a, hp := range cfg.Peers {
 		t.book.Set(a, hp)
@@ -280,7 +298,7 @@ func (t *Transport) Send(from, to transport.Addr, kind string, payload []byte) e
 		return fmt.Errorf("tcpnet: frame of %d bytes to %q exceeds MaxFrame %d", size, to, t.maxFrame)
 	}
 	frame := t.encodeFrame(from, to, kind, payload)
-	p := t.peerFor(hostport)
+	p := t.peerFor(hostport, linkShard(from, to, t.connsPerPeer))
 	if p == nil { // Close won the race after the check above
 		return ErrClosed
 	}
@@ -332,21 +350,47 @@ func (t *Transport) Close() {
 	t.wg.Wait()
 }
 
-// peerFor returns (creating if needed) the writer for one remote endpoint,
-// or nil if the transport closed. The closed re-check under t.mu keeps a
-// racing Send from spawning a writer goroutine after Close has already
-// stopped every peer — that writer would never be stopped and Close's
-// wg.Wait would hang.
-func (t *Transport) peerFor(hostport string) *peer {
+// peerKey identifies one writer connection to a remote endpoint: links
+// are hashed across ConnsPerPeer shards.
+type peerKey struct {
+	hostport string
+	shard    int
+}
+
+// linkShard maps one (From,To) link onto a connection shard. The hash is
+// FNV-1a over both addresses: deterministic, so a link always rides the
+// same connection and its FIFO order follows from TCP byte order.
+func linkShard(from, to transport.Addr, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(from); i++ {
+		h = (h ^ uint32(from[i])) * 16777619
+	}
+	h = (h ^ 0) * 16777619 // separator so ("ab","c") != ("a","bc")
+	for i := 0; i < len(to); i++ {
+		h = (h ^ uint32(to[i])) * 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// peerFor returns (creating if needed) the writer for one connection
+// shard of a remote endpoint, or nil if the transport closed. The closed
+// re-check under t.mu keeps a racing Send from spawning a writer
+// goroutine after Close has already stopped every peer — that writer
+// would never be stopped and Close's wg.Wait would hang.
+func (t *Transport) peerFor(hostport string, shard int) *peer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed.Load() {
 		return nil
 	}
-	p := t.peers[hostport]
+	k := peerKey{hostport, shard}
+	p := t.peers[k]
 	if p == nil {
 		p = newPeer(t, hostport)
-		t.peers[hostport] = p
+		t.peers[k] = p
 		t.wg.Add(1)
 		go p.run()
 	}
