@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fsnewtop/internal/chaos"
+	"fsnewtop/internal/trace"
+)
+
+// ChaosOptions parameterises one seeded chaos run (fsbench -exp chaos):
+// a generated fault schedule — partitions, crash churn, link shaping and
+// value faults injected into one half of a replica pair — executed
+// against a live FS-NewTOP cluster under the paper's fail-silence
+// oracles.
+type ChaosOptions struct {
+	// Seed drives the schedule and the netsim randomness; the same seed
+	// replays the byte-identical schedule and the same verdict.
+	Seed int64
+	// Members is the cluster size (0 = 5).
+	Members int
+	// Duration is the active fault window (0 = 10s).
+	Duration time.Duration
+	// Delta is the pair synchrony bound δ (0 = 250ms).
+	Delta time.Duration
+	// Transport must be TransportNetsim; TransportTCP is refused because
+	// tcpnet implements no fault injection and the schedule would be
+	// vacuous.
+	Transport string
+	// TraceDir receives the merged trace dump when an oracle is violated
+	// ("" = current directory).
+	TraceDir string
+	// Out, when non-nil, receives progress lines (schedule, actions,
+	// verdict).
+	Out io.Writer
+}
+
+// ChaosViolation is one oracle failure.
+type ChaosViolation struct {
+	Oracle string
+	Detail string
+}
+
+// ChaosConversion is the fail-silence outcome of one scheduled fault.
+type ChaosConversion struct {
+	Member    string
+	Action    string
+	Fired     bool
+	Converted bool
+	Took      time.Duration
+	Bound     time.Duration
+}
+
+// ChaosReport is one seed's outcome in public form.
+type ChaosReport struct {
+	Seed     int64
+	Schedule string
+	// Verdict is canonical ("PASS" or "FAIL(oracle,...)"); replays of a
+	// seed compare it byte-for-byte.
+	Verdict     string
+	Passed      bool
+	Violations  []ChaosViolation
+	Conversions []ChaosConversion
+	Delivered   int
+	Sent        int
+	DumpPath    string
+	Elapsed     time.Duration
+}
+
+// RunChaos executes one seeded chaos schedule. Like Run, it parks the
+// run's trace registry for DumpTrace, so SIGQUIT can snapshot a run in
+// flight. The error reports harness failures only (refused transport,
+// cluster build); oracle verdicts live in the report.
+func RunChaos(opts ChaosOptions) (ChaosReport, error) {
+	reg := trace.NewRegistry(0, nil)
+	activeTrace.Store(reg)
+	rep, err := chaos.Run(chaos.Options{
+		Seed:      opts.Seed,
+		Members:   opts.Members,
+		Duration:  opts.Duration,
+		Delta:     opts.Delta,
+		Transport: opts.Transport,
+		TraceDir:  opts.TraceDir,
+		Out:       opts.Out,
+		Trace:     reg,
+	})
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	out := ChaosReport{
+		Seed:      rep.Schedule.Seed,
+		Schedule:  rep.Schedule.String(),
+		Verdict:   rep.Verdict(),
+		Passed:    rep.Passed(),
+		Delivered: rep.Delivered,
+		Sent:      rep.Sent,
+		DumpPath:  rep.DumpPath,
+		Elapsed:   rep.Elapsed,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, ChaosViolation{Oracle: v.Oracle, Detail: v.Detail})
+	}
+	for _, c := range rep.Conversions {
+		out.Conversions = append(out.Conversions, ChaosConversion{
+			Member: c.Member, Action: c.Action,
+			Fired: c.Fired, Converted: c.Converted,
+			Took: c.Took, Bound: c.Bound,
+		})
+	}
+	return out, nil
+}
+
+// FormatChaos renders one chaos report for terminals.
+func FormatChaos(r ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed %d: %s (delivered>=%d sent=%d, %v)\n",
+		r.Seed, r.Verdict, r.Delivered, r.Sent, r.Elapsed.Round(time.Millisecond))
+	for _, c := range r.Conversions {
+		verdictMark := "converted"
+		switch {
+		case !c.Fired:
+			verdictMark = "armed, never fired"
+		case !c.Converted:
+			verdictMark = "NOT CONVERTED"
+		}
+		fmt.Fprintf(&b, "  %-4s %-45s %s", c.Member, c.Action, verdictMark)
+		if c.Fired && c.Converted {
+			fmt.Fprintf(&b, " in %v (bound %v)", c.Took.Round(time.Millisecond), c.Bound)
+		}
+		b.WriteByte('\n')
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION %s: %s\n", v.Oracle, v.Detail)
+	}
+	if r.DumpPath != "" {
+		fmt.Fprintf(&b, "  trace dump: %s\n", r.DumpPath)
+	}
+	return b.String()
+}

@@ -35,11 +35,14 @@ import (
 
 	"fsnewtop/internal/clock"
 	failsignal "fsnewtop/internal/core"
+	"fsnewtop/internal/faults"
 	"fsnewtop/internal/fsnewtop"
 	"fsnewtop/internal/group"
 	"fsnewtop/internal/newtop"
 	"fsnewtop/internal/orb"
 	"fsnewtop/internal/sig"
+	"fsnewtop/internal/sm"
+	"fsnewtop/internal/trace"
 	"fsnewtop/transport"
 	"fsnewtop/transport/netsim"
 )
@@ -94,6 +97,8 @@ type config struct {
 	suspectAfter time.Duration
 	viewRetry    time.Duration
 	syncLink     *transport.Profile
+	faultPlan    bool
+	traceReg     *trace.Registry
 }
 
 // Option configures New.
@@ -164,6 +169,93 @@ func WithSyncLinkProfile(p transport.Profile) Option {
 	return func(c *config) { c.syncLink = &p }
 }
 
+// WithFaultPlan arms the value-fault plane: every fail-signal member's
+// pair is built with an inert faults.Switch wrapped around each replica's
+// GC machine, so InjectValueFault can perturb exactly one half of a pair
+// at any later instant — the paper's systematic fault-injection
+// validation, available on a running deployment. Ignored (harmless) under
+// WithCrashTolerance, which has no pairs to fault.
+func WithFaultPlan() Option {
+	return func(c *config) { c.faultPlan = true }
+}
+
+// WithTrace threads a protocol trace registry through every member's
+// middleware stack (pairs, invocation endpoints, GC machines), so a
+// violation post-mortem gets one merged causal timeline across the whole
+// cluster. The caller keeps ownership of the registry; pass it before New
+// builds the members.
+func WithTrace(reg *trace.Registry) Option {
+	return func(c *config) { c.traceReg = reg }
+}
+
+// Half names one node of a member's self-checking replica pair.
+type Half uint8
+
+const (
+	// LeaderHalf is the pair's order-deciding FSO.
+	LeaderHalf Half = iota + 1
+	// FollowerHalf is the pair's order-checking FSO.
+	FollowerHalf
+)
+
+// String implements fmt.Stringer.
+func (h Half) String() string {
+	switch h {
+	case LeaderHalf:
+		return "leader"
+	case FollowerHalf:
+		return "follower"
+	default:
+		return fmt.Sprintf("Half(%d)", uint8(h))
+	}
+}
+
+// FaultKind enumerates the value faults InjectValueFault can arm.
+type FaultKind uint8
+
+const (
+	// CorruptOutputs flips bytes in the faulted replica's outputs.
+	CorruptOutputs FaultKind = iota + 1
+	// DropOutputs silently discards the faulted replica's outputs.
+	DropOutputs
+	// DuplicateOutputs repeats the faulted replica's outputs.
+	DuplicateOutputs
+	// MuteInputs makes the faulted replica deaf to selected input kinds.
+	MuteInputs
+)
+
+// FaultSpec selects one value fault for InjectValueFault.
+type FaultSpec struct {
+	// Kind picks the perturbation.
+	Kind FaultKind
+	// After skips this many outputs (inputs for MuteInputs) before the
+	// fault fires, counted from injection.
+	After uint64
+	// Every, for CorruptOutputs, perturbs one output out of Every after
+	// the skip (0 = only the single output right after After).
+	Every uint64
+	// InputKinds, for MuteInputs, lists the input kinds to swallow.
+	InputKinds []string
+}
+
+// spec converts to the internal fault plane's form.
+func (f FaultSpec) spec() (faults.Spec, error) {
+	s := faults.Spec{After: f.After, Every: f.Every, Kinds: f.InputKinds}
+	switch f.Kind {
+	case CorruptOutputs:
+		s.Mode = faults.ModeCorrupt
+	case DropOutputs:
+		s.Mode = faults.ModeDrop
+	case DuplicateOutputs:
+		s.Mode = faults.ModeDuplicate
+	case MuteInputs:
+		s.Mode = faults.ModeMute
+	default:
+		return faults.Spec{}, fmt.Errorf("cluster: unknown fault kind %d", f.Kind)
+	}
+	return s, nil
+}
+
 // Cluster is a running deployment of members over one transport.
 type Cluster struct {
 	tr      transport.Transport
@@ -172,6 +264,9 @@ type Cluster struct {
 	fab     *fsnewtop.Fabric
 	names   []string
 	members map[string]*Member
+	// switches is the armed fault plane (WithFaultPlan): per member, the
+	// inert faults.Switch wrapped around each pair half's GC machine.
+	switches map[string]map[Half]*faults.Switch
 }
 
 // New assembles and starts a cluster. Every named member is built,
@@ -226,6 +321,7 @@ func New(opts ...Option) (*Cluster, error) {
 				Net:          c.tr,
 				Naming:       naming,
 				Clock:        cfg.clk,
+				Trace:        cfg.traceReg,
 				PoolSize:     cfg.poolSize,
 				TickInterval: cfg.tickInterval,
 				GC: group.Config{
@@ -241,16 +337,34 @@ func New(opts ...Option) (*Cluster, error) {
 		}
 	} else {
 		c.fab = fsnewtop.NewFabric(c.tr, cfg.clk)
+		c.fab.Trace = cfg.traceReg
 		if cfg.rsa {
 			c.fab.NewSigner = func(id sig.ID) (sig.Signer, error) {
 				return sig.NewRSASigner(id, sig.RSAKeySize, nil)
 			}
+		}
+		if cfg.faultPlan {
+			c.switches = make(map[string]map[Half]*faults.Switch, len(c.names))
 		}
 		for _, name := range c.names {
 			peers := make([]string, 0, len(c.names)-1)
 			for _, p := range c.names {
 				if p != name {
 					peers = append(peers, p)
+				}
+			}
+			var wrap func(role failsignal.Role, m sm.Machine) sm.Machine
+			if cfg.faultPlan {
+				halves := make(map[Half]*faults.Switch, 2)
+				c.switches[name] = halves
+				wrap = func(role failsignal.Role, m sm.Machine) sm.Machine {
+					sw := faults.NewSwitch(m)
+					if role == failsignal.Leader {
+						halves[LeaderHalf] = sw
+					} else {
+						halves[FollowerHalf] = sw
+					}
+					return sw
 				}
 			}
 			nso, err := fsnewtop.New(fsnewtop.Config{
@@ -261,6 +375,7 @@ func New(opts ...Option) (*Cluster, error) {
 				TickInterval: cfg.tickInterval,
 				PoolSize:     cfg.poolSize,
 				SyncLink:     cfg.syncLink,
+				WrapMachine:  wrap,
 				GC: group.Config{
 					ViewRetryAfter: cfg.viewRetry,
 				},
@@ -328,6 +443,63 @@ func (c *Cluster) InjectFailSignal(name string) bool {
 		return true
 	}
 	return false
+}
+
+// InjectValueFault arms spec on one half of name's replica pair — the
+// paper's headline fault: from this instant, that GC replica's behaviour
+// is perturbed while its peer stays correct, and the pair must convert
+// the divergence into crash-or-fail-signal, never divergent delivery.
+// It fails unless the cluster was built with WithFaultPlan (the switches
+// must wrap the machines at construction time).
+func (c *Cluster) InjectValueFault(name string, half Half, spec FaultSpec) error {
+	halves := c.switches[name]
+	if halves == nil {
+		if c.crash {
+			return fmt.Errorf("cluster: %q is crash-tolerant, no pair to fault", name)
+		}
+		return fmt.Errorf("cluster: no fault plan for %q (build the cluster with WithFaultPlan)", name)
+	}
+	sw := halves[half]
+	if sw == nil {
+		return fmt.Errorf("cluster: %q has no %v half", name, half)
+	}
+	s, err := spec.spec()
+	if err != nil {
+		return err
+	}
+	return sw.Arm(s)
+}
+
+// ValueFaultsInjected reports how many value faults have actually fired
+// on name's pair (both halves) — zero until an armed fault perturbs an
+// output or input. Chaos oracles use it to decide whether a member owes a
+// fail-silence conversion.
+func (c *Cluster) ValueFaultsInjected(name string) uint64 {
+	var n uint64
+	for _, sw := range c.switches[name] {
+		n += sw.Injected()
+	}
+	return n
+}
+
+// PairFailed reports whether name's replica pair has started
+// fail-signalling (always false for crash-tolerant members). This is the
+// local, partition-immune view of the member's health the fail-silence
+// oracle checks against.
+func (c *Cluster) PairFailed(name string) bool {
+	if m := c.members[name]; m != nil && m.nso != nil {
+		return m.nso.Pair().Failed()
+	}
+	return false
+}
+
+// CanInjectFaults reports whether the cluster's transport supports link
+// fault injection (partitions, shaping). Chaos schedules require it: on a
+// real network Isolate/Heal/ShapeLinks refuse, and a schedule that cannot
+// perturb links would be vacuously green.
+func (c *Cluster) CanInjectFaults() bool {
+	_, ok := c.tr.(transport.FaultInjector)
+	return ok
 }
 
 // addrsOf enumerates every transport address member name occupies.

@@ -5,7 +5,16 @@
 //	fsbench -exp fig8            # throughput vs message size (10 members)
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
 //	fsbench -exp wedge           # repeated FS/tcp wedge repro (fig8 shape)
+//	fsbench -exp chaos -seed 7   # seeded fault-schedule fuzz run (oracles)
 //	fsbench -exp all -msgs 1000  # the paper's full message count
+//
+// The chaos lane expands -seed into a deterministic fault schedule
+// (partitions, crash churn, link shaping, value faults on one half of a
+// replica pair), runs it for -minutes against a live FS-NewTOP cluster,
+// and checks the paper's fail-silence oracles. A violated seed dumps the
+// merged protocol trace and is immediately replayed to demonstrate the
+// deterministic repro. -chaos-runs N sweeps N consecutive seeds; the exit
+// status is the number of failing seeds (capped at 125).
 //
 // Each experiment runs both NewTOP (crash-tolerant baseline) and
 // FS-NewTOP (Byzantine-tolerant extension) over the same simulated fabric
@@ -46,6 +55,8 @@ func main() {
 		traceDir  = flag.String("trace", "", "directory for protocol trace dumps (stall and SIGQUIT); empty = OS temp dir")
 		stallDump = flag.Bool("stall-dump", true, "write a trace dump (merged event timeline + goroutine stacks) when a run stalls")
 		runs      = flag.Int("runs", 20, "repetitions for -exp wedge")
+		minutes   = flag.Float64("minutes", 0, "active fault window for -exp chaos, in minutes (0 = 10s)")
+		chaosRuns = flag.Int("chaos-runs", 1, "consecutive seeds to sweep for -exp chaos (seed, seed+1, ...)")
 	)
 	flag.Parse()
 
@@ -154,6 +165,51 @@ func main() {
 		}
 	}
 
+	// runChaos is the seeded fault-schedule fuzz lane. Each seed expands
+	// deterministically into one schedule; a red seed is replayed at once
+	// so the output itself demonstrates the reproducible verdict.
+	runChaos := func() {
+		var dur time.Duration
+		if *minutes > 0 {
+			dur = time.Duration(*minutes * float64(time.Minute))
+		}
+		failed := 0
+		for i := 0; i < *chaosRuns; i++ {
+			opts := bench.ChaosOptions{
+				Seed:      *seed + int64(i),
+				Duration:  dur,
+				Transport: *trans,
+				TraceDir:  *traceDir,
+			}
+			rep, err := bench.RunChaos(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos seed %d: %v\n", opts.Seed, err)
+				os.Exit(2)
+			}
+			fmt.Print(bench.FormatChaos(rep))
+			if !rep.Passed {
+				failed++
+				replay, err := bench.RunChaos(opts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "chaos replay of seed %d: %v\n", opts.Seed, err)
+					os.Exit(2)
+				}
+				fmt.Printf("chaos seed %d replay: %s (schedule identical: %v, verdict identical: %v)\n",
+					opts.Seed, replay.Verdict,
+					replay.Schedule == rep.Schedule, replay.Verdict == rep.Verdict)
+			}
+		}
+		if *chaosRuns > 1 {
+			fmt.Printf("chaos sweep: %d/%d seeds passed\n", *chaosRuns-failed, *chaosRuns)
+		}
+		if failed > 0 {
+			if failed > 125 {
+				failed = 125
+			}
+			os.Exit(failed)
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "fig6":
@@ -172,8 +228,10 @@ func main() {
 			runSoak()
 		case "wedge":
 			runWedge()
+		case "chaos":
+			runChaos()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge, chaos or all)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println()

@@ -1,0 +1,683 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fsnewtop/cluster"
+	"fsnewtop/internal/clock"
+	"fsnewtop/internal/faults"
+	"fsnewtop/internal/trace"
+	"fsnewtop/transport"
+	"fsnewtop/transport/netsim"
+)
+
+// maxOrderGrants mirrors internal/core: a blocked follower stops granting
+// order extensions after this many, so divergence detection is bounded by
+// (1+maxOrderGrants)·t2 even under selective starvation.
+const maxOrderGrants = 8
+
+// groupName is the group every chaos run orders its workload in.
+const groupName = "chaos"
+
+// Options parameterises one chaos run.
+type Options struct {
+	// Seed drives the schedule, the netsim randomness, and nothing else.
+	Seed int64
+	// Members is the cluster size (0 = 5; minimum 4 so the fault budget
+	// ⌊(n−1)/2⌋ leaves a correct majority).
+	Members int
+	// Duration is the active fault window (0 = 10s). The run itself lasts
+	// longer: warmup, conversion settling and the liveness probe follow.
+	Duration time.Duration
+	// Delta is the pair-internal synchrony bound δ (0 = 250ms). The
+	// fail-silence oracle's deadline derives from it.
+	Delta time.Duration
+	// Transport names the backend. Only "netsim" can run a chaos
+	// schedule; anything else — notably "tcp" — is refused loudly,
+	// because without transport.FaultInjector every partition and
+	// link-shaping action would silently no-op and the oracles would be
+	// vacuously green.
+	Transport string
+	// SendEvery paces each member's workload multicasts (0 = 10ms).
+	SendEvery time.Duration
+	// TraceDir is where a violated seed dumps the merged trace ring
+	// ("" = current directory).
+	TraceDir string
+	// NoDump disables the violation trace dump.
+	NoDump bool
+	// Out, when non-nil, receives human-readable progress lines.
+	Out io.Writer
+	// Trace, when non-nil, substitutes the run's trace registry — the
+	// caller can then dump it on demand (fsbench's SIGQUIT handler) while
+	// the run is in flight. Nil gets a private registry.
+	Trace *trace.Registry
+	// Clock substitutes the harness time source (nil = wall clock). The
+	// schedule's offsets, oracle deadlines and probe timeouts all read it.
+	Clock clock.Clock
+}
+
+// withDefaults fills the zero values in.
+func (o Options) withDefaults() Options {
+	if o.Members == 0 {
+		o.Members = 5
+	}
+	if o.Duration == 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Delta == 0 {
+		o.Delta = 250 * time.Millisecond
+	}
+	if o.Transport == "" {
+		o.Transport = "netsim"
+	}
+	if o.SendEvery == 0 {
+		o.SendEvery = 10 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = clock.NewReal()
+	}
+	return o
+}
+
+// conversionBound is the oracle deadline: a pair converts divergence into
+// crash-or-fail-signal within t2 = 2δ of it manifesting, and selective
+// starvation stretches manifestation by at most maxOrderGrants further
+// deadlines; one extra second absorbs harness scheduling noise.
+func conversionBound(delta time.Duration) time.Duration {
+	return time.Duration(1+maxOrderGrants)*2*delta + time.Second
+}
+
+// Conversion is the fail-silence verdict for one scheduled fault.
+type Conversion struct {
+	// Member is the faulted member; Action the schedule line that hurt it.
+	Member string
+	Action string
+	// Fired reports whether the fault actually perturbed the machine
+	// (crashes always fire). An armed-but-never-fired fault owes nothing.
+	Fired bool
+	// Converted reports that the pair fail-signalled; Took is the
+	// observed fire→fail-signal latency, Bound the oracle deadline.
+	Converted bool
+	Took      time.Duration
+	Bound     time.Duration
+}
+
+// Violation is one oracle failure.
+type Violation struct {
+	// Oracle names the failed check: "delivery-equivalence",
+	// "fail-silence-conversion", "false-suspicion" or "liveness".
+	Oracle string
+	// Detail is a human-readable diagnosis.
+	Detail string
+}
+
+// Report is one seed's outcome.
+type Report struct {
+	Schedule    Schedule
+	Conversions []Conversion
+	Violations  []Violation
+	// Delivered is the per-correct-member delivery count floor; Sent the
+	// number of distinct payloads multicast.
+	Delivered int
+	Sent      int
+	// DumpPath locates the violation trace dump ("" when green or dumping
+	// was disabled).
+	DumpPath string
+	// Elapsed is the wall time of the whole run.
+	Elapsed time.Duration
+}
+
+// Passed reports a green run.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Verdict renders the outcome canonically: "PASS", or "FAIL(oracle,...)"
+// with the violated oracle names sorted and deduplicated. Replays of a
+// seed compare verdicts byte-for-byte.
+func (r *Report) Verdict() string {
+	if r.Passed() {
+		return "PASS"
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, v := range r.Violations {
+		if !seen[v.Oracle] {
+			seen[v.Oracle] = true
+			names = append(names, v.Oracle)
+		}
+	}
+	sort.Strings(names)
+	return "FAIL(" + strings.Join(names, ",") + ")"
+}
+
+// observed is the collectors' shared view of the cluster: per-member
+// ordered delivery logs, fail-signal observations, and the global set of
+// payloads legitimately multicast.
+type observed struct {
+	mu   sync.Mutex
+	logs map[string][]string        // member → payloads in delivery order
+	fail map[string]map[string]bool // observer → fail-signal sources seen
+	sent map[string]bool            // every payload handed to Multicast
+}
+
+func (o *observed) delivered(member, payload string) {
+	o.mu.Lock()
+	o.logs[member] = append(o.logs[member], payload)
+	o.mu.Unlock()
+}
+
+func (o *observed) failSignal(observer, source string) {
+	o.mu.Lock()
+	if o.fail[observer] == nil {
+		o.fail[observer] = make(map[string]bool)
+	}
+	o.fail[observer][source] = true
+	o.mu.Unlock()
+}
+
+func (o *observed) record(payload string) {
+	o.mu.Lock()
+	o.sent[payload] = true
+	o.mu.Unlock()
+}
+
+// deliveredCount returns len(logs[member]) under the lock.
+func (o *observed) deliveredCount(member string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.logs[member])
+}
+
+// deliveredAll reports whether member has delivered every payload in want.
+func (o *observed) deliveredAll(member string, want []string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	have := make(map[string]bool, len(o.logs[member]))
+	for _, p := range o.logs[member] {
+		have[p] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one seeded chaos schedule against a live FS-NewTOP cluster
+// and checks the oracles. The returned error reports harness failures
+// only (refused transport, cluster build, warmup); oracle verdicts live
+// in the Report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Transport != "netsim" {
+		return nil, fmt.Errorf(
+			"chaos: transport %q cannot run fault schedules: it does not implement transport.FaultInjector, "+
+				"so partitions and link shaping would silently no-op and every oracle would pass vacuously; "+
+				"run chaos on -transport netsim", opts.Transport)
+	}
+	if opts.Members < 4 {
+		return nil, fmt.Errorf("chaos: need at least 4 members (got %d): the fault budget ⌊(n−1)/2⌋ must leave a correct majority", opts.Members)
+	}
+	clk := opts.Clock
+	start := clk.Now()
+	logf := func(format string, args ...any) {
+		if opts.Out != nil {
+			fmt.Fprintf(opts.Out, "chaos: "+format+"\n", args...)
+		}
+	}
+
+	members := make([]string, opts.Members)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%d", i)
+	}
+	sched := Generate(GenConfig{Seed: opts.Seed, Members: members, Duration: opts.Duration})
+	rep := &Report{Schedule: sched}
+	logf("seed %d schedule:\n%s", opts.Seed, strings.TrimRight(sched.String(), "\n"))
+
+	// The netsim shares the run's seed: schedule randomness and network
+	// randomness both replay from the one integer.
+	reg := opts.Trace
+	if reg == nil {
+		reg = trace.NewRegistry(0, nil)
+	}
+	net := netsim.New(clk, netsim.WithSeed(opts.Seed), netsim.WithDefaultProfile(transport.Profile{
+		Latency: transport.Fixed(200 * time.Microsecond),
+	}))
+	defer net.Close()
+
+	c, err := cluster.New(
+		cluster.WithTransport(net),
+		cluster.WithMembers(members...),
+		cluster.WithClock(clk),
+		cluster.WithDelta(opts.Delta),
+		cluster.WithFaultPlan(),
+		cluster.WithTrace(reg),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building cluster: %w", err)
+	}
+	defer c.Close()
+	if !c.CanInjectFaults() {
+		return nil, fmt.Errorf("chaos: transport %T refuses fault injection; chaos schedules need transport.FaultInjector", net)
+	}
+	if err := c.JoinAll(groupName); err != nil {
+		return nil, fmt.Errorf("chaos: joining: %w", err)
+	}
+
+	obs := &observed{
+		logs: make(map[string][]string, len(members)),
+		fail: make(map[string]map[string]bool, len(members)),
+		sent: make(map[string]bool),
+	}
+
+	// Collectors: one drain per member, recording deliveries and
+	// fail-signal observations until the run tears down.
+	stopDrain := make(chan struct{})
+	var drainWG sync.WaitGroup
+	for _, name := range members {
+		m := c.Member(name)
+		drainWG.Add(1)
+		go func(name string, m *cluster.Member) {
+			defer drainWG.Done()
+			for {
+				select {
+				case <-stopDrain:
+					return
+				case d := <-m.Deliveries():
+					obs.delivered(name, string(d.Payload))
+				case <-m.Views():
+				case src := <-m.FailSignals():
+					obs.failSignal(name, src)
+				}
+			}
+		}(name, m)
+	}
+	defer func() {
+		c.Close() // stop member pumps first, then release the drains
+		close(stopDrain)
+		drainWG.Wait()
+	}()
+
+	// Warmup: the group is formed once one multicast reaches everyone.
+	warm := "w|0"
+	obs.record(warm)
+	if err := c.Member(members[0]).Multicast(groupName, cluster.TotalSym, []byte(warm)); err != nil {
+		return nil, fmt.Errorf("chaos: warmup multicast: %w", err)
+	}
+	if err := waitUntil(clk, 20*time.Second, func() bool {
+		for _, name := range members {
+			if !obs.deliveredAll(name, []string{warm}) {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("chaos: group never formed: %w", err)
+	}
+
+	// Fault accounting, shared between executor, monitor and oracles.
+	type faultState struct {
+		action  Action
+		armed   time.Time // crash time for crashes
+		firedAt time.Time // first observed injection (crashes: == armed)
+		fired   bool
+		failAt  time.Time
+		failed  bool
+	}
+	var faultMu sync.Mutex
+	states := make(map[string]*faultState) // member → state (schedule keeps them distinct)
+
+	// Monitor: polls the local, partition-immune pair health and the
+	// fault-plane counters, timestamping first injection and first
+	// fail-signal per member.
+	stopMonitor := make(chan struct{})
+	var monitorWG sync.WaitGroup
+	monitorWG.Add(1)
+	go func() {
+		defer monitorWG.Done()
+		for {
+			select {
+			case <-stopMonitor:
+				return
+			case <-clk.After(2 * time.Millisecond):
+			}
+			now := clk.Now()
+			faultMu.Lock()
+			for name, st := range states {
+				if !st.fired && c.ValueFaultsInjected(name) > 0 {
+					st.fired, st.firedAt = true, now
+				}
+				if !st.failed && c.PairFailed(name) {
+					st.failed, st.failAt = true, now
+				}
+			}
+			faultMu.Unlock()
+		}
+	}()
+	defer func() {
+		close(stopMonitor)
+		monitorWG.Wait()
+	}()
+
+	// Workload: every member multicasts paced, self-describing payloads
+	// until the active window closes. Members whose pair has failed stop
+	// sending (their svc is gone); errors on a dying member are expected.
+	stopWork := make(chan struct{})
+	var workWG sync.WaitGroup
+	for _, name := range members {
+		m := c.Member(name)
+		workWG.Add(1)
+		go func(name string, m *cluster.Member) {
+			defer workWG.Done()
+			for seq := 0; ; seq++ {
+				select {
+				case <-stopWork:
+					return
+				case <-clk.After(opts.SendEvery):
+				}
+				if c.PairFailed(name) {
+					return
+				}
+				p := fmt.Sprintf("c|%s|%d", name, seq)
+				obs.record(p)
+				if err := m.Multicast(groupName, cluster.TotalSym, []byte(p)); err != nil {
+					return
+				}
+			}
+		}(name, m)
+	}
+
+	// Executor: replay the schedule against the live cluster.
+	schedStart := clk.Now()
+	for _, a := range sched.Actions {
+		if wait := a.At - clk.Since(schedStart); wait > 0 {
+			<-clk.After(wait)
+		}
+		logf("t=%v apply: %s", clk.Since(schedStart).Round(time.Millisecond), a)
+		switch a.Kind {
+		case ActIsolate:
+			c.Isolate(a.A, a.B)
+		case ActHeal:
+			c.Heal(a.A, a.B)
+		case ActShapeLink:
+			c.ShapeLinks(a.A, a.B, transport.Profile{Latency: transport.Fixed(a.Latency)})
+		case ActUnshapeLink:
+			c.ShapeLinks(a.A, a.B, transport.Profile{Latency: transport.Fixed(200 * time.Microsecond)})
+		case ActCrashLeader, ActCrashFollower:
+			faultMu.Lock()
+			states[a.A] = &faultState{action: a, armed: clk.Now(), fired: true, firedAt: clk.Now()}
+			faultMu.Unlock()
+			if a.Kind == ActCrashLeader {
+				c.CrashLeader(a.A)
+			} else {
+				c.CrashFollower(a.A)
+			}
+		case ActValueFault:
+			faultMu.Lock()
+			states[a.A] = &faultState{action: a, armed: clk.Now()}
+			faultMu.Unlock()
+			spec := publicSpec(a.Spec)
+			half := cluster.LeaderHalf
+			if a.Half == FollowerHalf {
+				half = cluster.FollowerHalf
+			}
+			if err := c.InjectValueFault(a.A, half, spec); err != nil {
+				return nil, fmt.Errorf("chaos: arming %v: %w", a, err)
+			}
+		}
+	}
+	if wait := sched.Duration - clk.Since(schedStart); wait > 0 {
+		<-clk.After(wait)
+	}
+
+	// Belt and braces: restore full connectivity even if the generator's
+	// heal-by-0.8·D invariant is ever loosened.
+	for i, a := range members {
+		for _, b := range members[i+1:] {
+			c.Heal(a, b)
+			c.ShapeLinks(a, b, transport.Profile{Latency: transport.Fixed(200 * time.Microsecond)})
+		}
+	}
+	close(stopWork)
+	workWG.Wait()
+
+	// Let every owed fail-silence conversion land (or blow its bound).
+	bound := conversionBound(opts.Delta)
+	waitConversions := func() {
+		for {
+			now := clk.Now()
+			pending := false
+			faultMu.Lock()
+			for _, st := range states {
+				if st.fired && !st.failed && now.Sub(st.firedAt) < bound {
+					pending = true
+				}
+			}
+			faultMu.Unlock()
+			if !pending {
+				return
+			}
+			<-clk.After(5 * time.Millisecond)
+		}
+	}
+	waitConversions()
+
+	// Liveness probe: members with no scheduled fault must still reach
+	// agreement — each multicasts a fresh probe, and every one of them
+	// must deliver all of them. (A scheduled-but-unfired value fault may
+	// fire on the probe traffic itself; such members are excluded here and
+	// judged by the conversion oracle instead.)
+	scheduledFault := make(map[string]bool)
+	for _, m := range sched.ValueFaulted() {
+		scheduledFault[m] = true
+	}
+	for _, m := range sched.Crashed() {
+		scheduledFault[m] = true
+	}
+	var correct []string
+	for _, m := range members {
+		if !scheduledFault[m] {
+			correct = append(correct, m)
+		}
+	}
+	var probes []string
+	for _, m := range correct {
+		p := "p|" + m
+		probes = append(probes, p)
+		obs.record(p)
+		if err := c.Member(m).Multicast(groupName, cluster.TotalSym, []byte(p)); err != nil {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "liveness",
+				Detail: fmt.Sprintf("correct member %s cannot multicast after heal: %v", m, err),
+			})
+		}
+	}
+	probeTimeout := 20 * time.Second
+	probeErr := waitUntil(clk, probeTimeout, func() bool {
+		for _, m := range correct {
+			if !obs.deliveredAll(m, probes) {
+				return false
+			}
+		}
+		return true
+	})
+	// A fault that fired on the probe traffic still owes its conversion.
+	waitConversions()
+
+	// ── Oracle 2: fail-silence conversion ────────────────────────────────
+	faultMu.Lock()
+	for _, name := range append(sched.ValueFaulted(), sched.Crashed()...) {
+		st := states[name]
+		if st == nil {
+			continue
+		}
+		conv := Conversion{Member: name, Action: st.action.String(), Fired: st.fired, Bound: bound}
+		if st.fired && st.failed {
+			conv.Converted = true
+			conv.Took = st.failAt.Sub(st.firedAt)
+		}
+		rep.Conversions = append(rep.Conversions, conv)
+		if st.fired && !st.failed {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "fail-silence-conversion",
+				Detail: fmt.Sprintf("%s: fault fired (%s) but the pair never fail-signalled within %v", name, st.action, bound),
+			})
+		} else if conv.Converted && conv.Took > bound {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "fail-silence-conversion",
+				Detail: fmt.Sprintf("%s: conversion took %v, exceeding the (1+%d)·2δ bound %v", name, conv.Took, maxOrderGrants, bound),
+			})
+		}
+	}
+	faultMu.Unlock()
+
+	// Final state snapshot for the remaining oracles.
+	obs.mu.Lock()
+	logs := make(map[string][]string, len(obs.logs))
+	for m, l := range obs.logs {
+		logs[m] = append([]string(nil), l...)
+	}
+	fails := make(map[string]map[string]bool, len(obs.fail))
+	for m, set := range obs.fail {
+		cp := make(map[string]bool, len(set))
+		for s := range set {
+			cp[s] = true
+		}
+		fails[m] = cp
+	}
+	sent := make(map[string]bool, len(obs.sent))
+	for p := range obs.sent {
+		sent[p] = true
+	}
+	obs.mu.Unlock()
+	rep.Sent = len(sent)
+
+	// ── Oracle 1: delivery equivalence ───────────────────────────────────
+	// Every correct member's ordered log is a prefix of the longest
+	// correct log, and nothing outside the sent set is ever delivered.
+	ref, refName := []string(nil), ""
+	for _, m := range correct {
+		if len(logs[m]) > len(ref) {
+			ref, refName = logs[m], m
+		}
+	}
+	minDelivered := -1
+	for _, m := range correct {
+		l := logs[m]
+		if minDelivered < 0 || len(l) < minDelivered {
+			minDelivered = len(l)
+		}
+		for i, p := range l {
+			if i < len(ref) && p != ref[i] {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "delivery-equivalence",
+					Detail: fmt.Sprintf("position %d: %s delivered %q but %s delivered %q", i, m, p, refName, ref[i]),
+				})
+				break
+			}
+		}
+	}
+	if minDelivered > 0 {
+		rep.Delivered = minDelivered
+	}
+	for _, m := range members { // corrupt payloads must not escape at anyone
+		for _, p := range logs[m] {
+			if !sent[p] {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "delivery-equivalence",
+					Detail: fmt.Sprintf("%s delivered payload %q that no member ever multicast: a corrupted value escaped a pair", m, p),
+				})
+			}
+		}
+	}
+
+	// ── Oracle 3: no false suspicion ─────────────────────────────────────
+	// Un-faulted members never fail-signal and are never the source of a
+	// verified fail-signal observed anywhere.
+	for _, m := range correct {
+		if c.PairFailed(m) {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "false-suspicion",
+				Detail: fmt.Sprintf("%s has no scheduled fault but its pair fail-signalled", m),
+			})
+		}
+	}
+	for observer, set := range fails {
+		for src := range set {
+			if !scheduledFault[src] {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "false-suspicion",
+					Detail: fmt.Sprintf("%s observed a verified fail-signal from un-faulted member %s", observer, src),
+				})
+			}
+		}
+	}
+
+	// ── Oracle 4: liveness after heal ────────────────────────────────────
+	if probeErr != nil {
+		missing := []string{}
+		for _, m := range correct {
+			if !obs.deliveredAll(m, probes) {
+				missing = append(missing, m)
+			}
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Oracle: "liveness",
+			Detail: fmt.Sprintf("after all partitions healed, members %v did not deliver all %d probes within %v", missing, len(probes), probeTimeout),
+		})
+	}
+
+	rep.Elapsed = clk.Since(start)
+	if !rep.Passed() && !opts.NoDump {
+		dir := opts.TraceDir
+		if dir == "" {
+			dir = "."
+		}
+		if path, derr := reg.Dump(dir, fmt.Sprintf("chaos-seed%d", opts.Seed)); derr == nil {
+			rep.DumpPath = path
+			logf("violation: merged trace dumped to %s", path)
+		} else {
+			logf("violation: trace dump failed: %v", derr)
+		}
+	}
+	logf("seed %d verdict: %s (%d conversions, %d violations, %v elapsed)",
+		opts.Seed, rep.Verdict(), len(rep.Conversions), len(rep.Violations), rep.Elapsed.Round(time.Millisecond))
+	return rep, nil
+}
+
+// publicSpec converts the schedule's internal fault spec to the cluster
+// facade's form.
+func publicSpec(s faults.Spec) cluster.FaultSpec {
+	out := cluster.FaultSpec{After: s.After, Every: s.Every, InputKinds: s.Kinds}
+	switch s.Mode {
+	case faults.ModeCorrupt:
+		out.Kind = cluster.CorruptOutputs
+	case faults.ModeDrop:
+		out.Kind = cluster.DropOutputs
+	case faults.ModeDuplicate:
+		out.Kind = cluster.DuplicateOutputs
+	case faults.ModeMute:
+		out.Kind = cluster.MuteInputs
+	}
+	return out
+}
+
+// waitUntil polls cond every few milliseconds until it holds or the
+// timeout expires.
+func waitUntil(clk clock.Clock, timeout time.Duration, cond func() bool) error {
+	deadline := clk.Now().Add(timeout)
+	for {
+		if cond() {
+			return nil
+		}
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("condition not met within %v", timeout)
+		}
+		<-clk.After(5 * time.Millisecond)
+	}
+}

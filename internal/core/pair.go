@@ -20,6 +20,13 @@ type PairConfig struct {
 	// NewMachine builds one replica of the wrapped deterministic machine.
 	// It is called twice; the two instances must satisfy R1.
 	NewMachine func() sm.Machine
+	// WrapMachine, if set, wraps each freshly built machine before its
+	// replica starts; role identifies which half of the pair it will
+	// drive. Fault-injection harnesses use it to install perturbing
+	// wrappers (e.g. faults.Switch) into exactly one half — the paper's
+	// systematic fault-injection validation hook. The wrapper sees the
+	// same single-threaded Step discipline the machine does.
+	WrapMachine func(role Role, m sm.Machine) sm.Machine
 	// Net carries both the pair's synchronous link and external traffic.
 	Net transport.Transport
 	// Clock drives all timeouts.
@@ -156,12 +163,17 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 		OnFailSignal:    cfg.OnFailSignal,
 	}
 
+	wrap := cfg.WrapMachine
+	if wrap == nil {
+		wrap = func(_ Role, m sm.Machine) sm.Machine { return m }
+	}
+
 	leaderCfg := base
 	leaderCfg.Role = Leader
 	leaderCfg.Self, leaderCfg.Peer = lAddr, fAddr
 	leaderCfg.Signer = leaderSigner
 	leaderCfg.PeerFailEnv = envByFollower
-	leaderCfg.Machine = cfg.NewMachine()
+	leaderCfg.Machine = wrap(Leader, cfg.NewMachine())
 	leaderCfg.TickInterval = cfg.TickInterval
 
 	followerCfg := base
@@ -169,7 +181,7 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	followerCfg.Self, followerCfg.Peer = fAddr, lAddr
 	followerCfg.Signer = followerSigner
 	followerCfg.PeerFailEnv = envByLeader
-	followerCfg.Machine = cfg.NewMachine()
+	followerCfg.Machine = wrap(Follower, cfg.NewMachine())
 
 	if cfg.Trace != nil {
 		leaderCfg.Trace = cfg.Trace.Ring(string(LeaderID(cfg.Name)))

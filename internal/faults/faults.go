@@ -8,8 +8,10 @@
 package faults
 
 import (
+	"sync/atomic"
 	"time"
 
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/sm"
 )
 
@@ -17,6 +19,16 @@ import (
 // type is inert until configured.
 type Injector interface {
 	sm.Machine
+}
+
+// Counter is implemented by injectors that can report how many faults
+// they have actually applied (as opposed to merely being configured).
+// Chaos oracles use it to decide whether a fail-silence conversion is
+// owed: a member whose injector never fired owes nothing.
+type Counter interface {
+	// Injected returns the number of perturbations applied so far. Safe
+	// to call concurrently with Step.
+	Injected() uint64
 }
 
 // CorruptOutput flips bytes in selected outputs of the wrapped machine —
@@ -31,6 +43,7 @@ type CorruptOutput struct {
 	Every uint64
 
 	produced uint64
+	injected atomic.Uint64
 }
 
 // Step implements sm.Machine.
@@ -40,10 +53,14 @@ func (c *CorruptOutput) Step(in sm.Input) []sm.Output {
 		c.produced++
 		if c.shouldCorrupt() && len(outs[i].Payload) > 0 {
 			outs[i].Payload[0] ^= 0xA5
+			c.injected.Add(1)
 		}
 	}
 	return outs
 }
+
+// Injected implements Counter.
+func (c *CorruptOutput) Injected() uint64 { return c.injected.Load() }
 
 func (c *CorruptOutput) shouldCorrupt() bool {
 	if c.produced <= c.After {
@@ -63,6 +80,7 @@ type DropOutput struct {
 	After uint64
 
 	produced uint64
+	injected atomic.Uint64
 }
 
 // Step implements sm.Machine.
@@ -72,12 +90,16 @@ func (d *DropOutput) Step(in sm.Input) []sm.Output {
 	for _, o := range outs {
 		d.produced++
 		if d.produced > d.After {
+			d.injected.Add(1)
 			continue
 		}
 		kept = append(kept, o)
 	}
 	return kept
 }
+
+// Injected implements Counter.
+func (d *DropOutput) Injected() uint64 { return d.injected.Load() }
 
 // SlowStep delays processing — a timing fault violating assumption A3,
 // which the Compare deadlines (κ·π term) are calibrated to expose.
@@ -87,18 +109,30 @@ type SlowStep struct {
 	After uint64
 	// Delay is the per-step stall.
 	Delay time.Duration
+	// Clock paces the stall; nil selects the wall clock. Tests drive it
+	// with a manual clock so timing faults need no real sleeping.
+	Clock clock.Clock
 
 	consumed uint64
+	injected atomic.Uint64
 }
 
 // Step implements sm.Machine.
 func (s *SlowStep) Step(in sm.Input) []sm.Output {
 	s.consumed++
 	if s.consumed > s.After && s.Delay > 0 {
-		time.Sleep(s.Delay)
+		clk := s.Clock
+		if clk == nil {
+			clk = clock.Real{}
+		}
+		<-clk.After(s.Delay)
+		s.injected.Add(1)
 	}
 	return s.Inner.Step(in)
 }
+
+// Injected implements Counter.
+func (s *SlowStep) Injected() uint64 { return s.injected.Load() }
 
 // DuplicateOutput repeats selected outputs — a commission fault: the
 // replicas' output streams get out of step, so sequence-keyed comparison
@@ -109,6 +143,7 @@ type DuplicateOutput struct {
 	After uint64
 
 	produced uint64
+	injected atomic.Uint64
 }
 
 // Step implements sm.Machine.
@@ -120,10 +155,14 @@ func (d *DuplicateOutput) Step(in sm.Input) []sm.Output {
 		result = append(result, o)
 		if d.produced > d.After {
 			result = append(result, o)
+			d.injected.Add(1)
 		}
 	}
 	return result
 }
+
+// Injected implements Counter.
+func (d *DuplicateOutput) Injected() uint64 { return d.injected.Load() }
 
 // MuteInputs makes the machine deaf to selected input kinds — a receive
 // omission: the replica's state silently diverges from its peer's.
@@ -135,6 +174,7 @@ type MuteInputs struct {
 	After uint64
 
 	consumed uint64
+	injected atomic.Uint64
 }
 
 // Step implements sm.Machine.
@@ -143,12 +183,16 @@ func (m *MuteInputs) Step(in sm.Input) []sm.Output {
 	if m.consumed > m.After {
 		for _, k := range m.Kinds {
 			if in.Kind == k {
+				m.injected.Add(1)
 				return nil
 			}
 		}
 	}
 	return m.Inner.Step(in)
 }
+
+// Injected implements Counter.
+func (m *MuteInputs) Injected() uint64 { return m.injected.Load() }
 
 // LyingApp wraps a vote.AppMachine-shaped function: it returns corrupted
 // results — the application-level Byzantine fault that 2f+1 replication

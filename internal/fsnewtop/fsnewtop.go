@@ -169,6 +169,12 @@ type Config struct {
 	GC group.Config
 	// OnFailSignal observes this pair's own failure (test hook).
 	OnFailSignal func(reason string)
+	// WrapMachine, if set, wraps each GC machine replica before its FSO
+	// starts (see failsignal.PairConfig.WrapMachine). The chaos plane
+	// installs runtime-armable faults.Switch wrappers through it, so a
+	// value fault can be injected into exactly one half of the pair
+	// mid-run.
+	WrapMachine func(role failsignal.Role, m sm.Machine) sm.Machine
 }
 
 // NSO is a Byzantine-tolerant FS-NewTOP member. It implements
@@ -274,6 +280,7 @@ func New(cfg Config) (*NSO, error) {
 	pair, err := failsignal.NewPair(failsignal.PairConfig{
 		Name:            cfg.Name,
 		NewMachine:      func() sm.Machine { return group.New(gcCfg) },
+		WrapMachine:     cfg.WrapMachine,
 		Net:             fab.Net,
 		Clock:           fab.Clock,
 		Dir:             fab.Dir,

@@ -47,7 +47,7 @@ func (m *Machine) propose(g *groupState, candidate []string) {
 		Group:   g.name,
 		ViewID:  g.change.viewID,
 		Epoch:   g.change.epoch,
-		Pending: append([]DataMsg(nil), g.pendingSym...),
+		Pending: g.flushPending(candidate),
 	}
 	m.checkInstall(g)
 }
@@ -103,7 +103,7 @@ func (m *Machine) onViewProp(from string, v ViewProp) {
 		Group:   g.name,
 		ViewID:  v.ViewID,
 		Epoch:   v.Epoch,
-		Pending: append([]DataMsg(nil), g.pendingSym...),
+		Pending: g.flushPending(v.Members),
 	}
 	m.emit(KindViewAck, []string{from}, ack.Marshal())
 }
@@ -188,6 +188,7 @@ func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 			continue
 		}
 		s.symDelivered = d.SenderSeq
+		s.retain(d)
 		m.trace.Emit(trace.EvRoundClose, d.TS, d.SenderSeq, d.Origin)
 		m.deliver(g, d.Origin, TotalSym, d.Payload)
 	}

@@ -12,6 +12,14 @@ const sentRetention = 4096
 // maxNackBatch bounds how many missing sequences one NACK requests.
 const maxNackBatch = 64
 
+// symRetention bounds how many already-delivered symmetric-order messages
+// we keep per origin for the view-change flush. Retention is what lets a
+// view change repair a partitioned laggard: a message from a since-dead
+// origin may already be delivered (hence no longer pending) at every
+// member that received it, and the origin can no longer retransmit it, so
+// the delivered copy is the only repair source left.
+const symRetention = 512
+
 // memberStream tracks per-(group, member) reliability and ordering state.
 type memberStream struct {
 	// nextSeq is the next contiguous sender sequence expected (sequences
@@ -33,10 +41,27 @@ type memberStream struct {
 	symDelivered uint64
 	// asymDelivered is the analogous watermark for asymmetric order.
 	asymDelivered uint64
+	// retained keeps this origin's recently delivered symmetric-order
+	// messages (bounded by symRetention) so a view change can offer them
+	// to members the origin never reached.
+	retained map[uint64]DataMsg
 }
 
 func newMemberStream() *memberStream {
-	return &memberStream{nextSeq: 1, buffered: make(map[uint64]DataMsg)}
+	return &memberStream{
+		nextSeq:  1,
+		buffered: make(map[uint64]DataMsg),
+		retained: make(map[uint64]DataMsg),
+	}
+}
+
+// retain records one delivered symmetric-order message for later flush
+// repair, pruning the retention window.
+func (s *memberStream) retain(d DataMsg) {
+	s.retained[d.SenderSeq] = d
+	if d.SenderSeq > symRetention {
+		delete(s.retained, d.SenderSeq-symRetention)
+	}
 }
 
 // highestContig is the highest sender sequence received without gaps.
@@ -180,6 +205,35 @@ func (g *groupState) candidateMembers() []string {
 	for _, m := range g.members {
 		if !g.suspects[m] {
 			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// flushPending is this member's view-change flush contribution: every
+// accepted-but-undelivered symmetric message, plus the retained
+// already-delivered messages of each origin the candidate view excludes.
+// Without the retained set, a message a dead origin managed to send to
+// only part of the group vanishes from every pending set the moment its
+// receivers deliver it, and a partitioned laggard can never obtain it —
+// the surviving view would diverge on the dead member's tail. Iteration
+// is sorted throughout: this code runs inside replica pairs that compare
+// outputs byte-for-byte, so map-order nondeterminism here would itself
+// read as a value fault.
+func (g *groupState) flushPending(candidate []string) []DataMsg {
+	out := append([]DataMsg(nil), g.pendingSym...)
+	for _, origin := range sortedKeys(g.streams) {
+		if contains(candidate, origin) {
+			continue
+		}
+		s := g.streams[origin]
+		seqs := make([]uint64, 0, len(s.retained))
+		for seq := range s.retained {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			out = append(out, s.retained[seq])
 		}
 	}
 	return out

@@ -43,6 +43,7 @@ func (m *Machine) drainSym(g *groupState) {
 			continue // already delivered via a view-change flush
 		}
 		s.symDelivered = head.SenderSeq
+		s.retain(head)
 		m.trace.Emit(trace.EvRoundClose, head.TS, head.SenderSeq, head.Origin)
 		m.deliver(g, head.Origin, TotalSym, head.Payload)
 	}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/codec"
 	"fsnewtop/transport"
 )
@@ -168,6 +169,11 @@ type Config struct {
 	ServiceTime time.Duration
 	// InvokeTimeout bounds synchronous invocations. Zero means 5s.
 	InvokeTimeout time.Duration
+	// Clock drives the invocation timeout and simulated service time.
+	// Nil selects the wall clock; tests substitute a manual clock so
+	// timeout paths need no real waiting (the package clock contract:
+	// no protocol code calls time.Now/time.After directly).
+	Clock clock.Clock
 }
 
 // ORB is one node's object request broker.
@@ -194,6 +200,9 @@ func New(cfg Config) (*ORB, error) {
 	}
 	if cfg.InvokeTimeout == 0 {
 		cfg.InvokeTimeout = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
 	}
 	o := &ORB{
 		cfg:      cfg,
@@ -303,10 +312,12 @@ func (o *ORB) transmit(req *Request) Reply {
 		o.mu.Unlock()
 		return Reply{Err: err.Error()}
 	}
+	timer := o.cfg.Clock.NewTimer(o.cfg.InvokeTimeout)
+	defer timer.Stop()
 	select {
 	case rep := <-ch:
 		return rep
-	case <-time.After(o.cfg.InvokeTimeout):
+	case <-timer.C():
 		o.mu.Lock()
 		delete(o.pending, id)
 		o.mu.Unlock()
@@ -346,7 +357,7 @@ func (o *ORB) onMessage(msg transport.Message) {
 		}
 		o.pool.Submit(func() {
 			if o.cfg.ServiceTime > 0 {
-				time.Sleep(o.cfg.ServiceTime)
+				<-o.cfg.Clock.After(o.cfg.ServiceTime)
 			}
 			o.mu.Lock()
 			s, ok := o.servants[req.Target]

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fsnewtop/cluster"
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/codec"
 	"fsnewtop/transport"
 )
@@ -173,6 +174,7 @@ type Voter struct {
 	f     int
 	m     Member
 	group string
+	clk   clock.Clock
 	done  chan struct{}
 	wg    sync.WaitGroup
 
@@ -198,6 +200,7 @@ func NewVoter(name, groupName string, f int, m Member, net transport.Transport) 
 		f:       f,
 		m:       m,
 		group:   groupName,
+		clk:     clock.NewReal(),
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*ballot),
 	}
@@ -279,10 +282,15 @@ func (v *Voter) Submit(body []byte, timeout time.Duration) ([]byte, error) {
 		v.mu.Unlock()
 		return nil, err
 	}
+	// The wait runs on the voter's clock (package internal/clock): no
+	// protocol code calls time.After directly, so timeout behaviour is
+	// drivable by a manual clock in tests.
+	timer := v.clk.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case result := <-b.decided:
 		return result, nil
-	case <-time.After(timeout):
+	case <-timer.C():
 		v.mu.Lock()
 		delete(v.pending, id)
 		v.mu.Unlock()
