@@ -100,7 +100,7 @@ func RunBFT(opts BFTOptions) (BFTResult, error) {
 	if err := keys.RegisterSigner(clientSigner); err != nil {
 		return BFTResult{}, err
 	}
-	client := bftbase.NewClient("bench-client", opts.F, names, net, clientSigner)
+	client := bftbase.NewClient("bench-client", opts.F, names, net, clientSigner, clock.NewReal())
 
 	var lat metrics.Histogram
 	start := time.Now()

@@ -35,6 +35,11 @@ type ChaosOptions struct {
 	// Out, when non-nil, receives progress lines (schedule, actions,
 	// verdict).
 	Out io.Writer
+	// Churn arms restart churn: auto-heal runs, the schedule always
+	// contains at least one crash, and every fail-signalled member must be
+	// replaced by a fresh pair admitted via state transfer. Needs at least
+	// 5 members.
+	Churn bool
 }
 
 // ChaosViolation is one oracle failure.
@@ -53,6 +58,19 @@ type ChaosConversion struct {
 	Bound     time.Duration
 }
 
+// ChaosHeal is one completed churn remediation: the fault fires, the
+// pair fail-signals, the replacement is admitted. Offsets count from the
+// schedule start; Recovery = AdmittedAt − FiredAt is the availability
+// gap.
+type ChaosHeal struct {
+	Failed       string
+	Replacement  string
+	FiredAt      time.Duration
+	FailSignalAt time.Duration
+	AdmittedAt   time.Duration
+	Recovery     time.Duration
+}
+
 // ChaosReport is one seed's outcome in public form.
 type ChaosReport struct {
 	Seed     int64
@@ -66,7 +84,13 @@ type ChaosReport struct {
 	Delivered   int
 	Sent        int
 	DumpPath    string
-	Elapsed     time.Duration
+	// Replacements and Heals describe churn remediations (churn runs
+	// only); Window is the measured churn window the recovery gaps cut
+	// into.
+	Replacements []string
+	Heals        []ChaosHeal
+	Window       time.Duration
+	Elapsed      time.Duration
 }
 
 // RunChaos executes one seeded chaos schedule. Like Run, it parks the
@@ -85,19 +109,29 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 		TraceDir:  opts.TraceDir,
 		Out:       opts.Out,
 		Trace:     reg,
+		Churn:     opts.Churn,
 	})
 	if err != nil {
 		return ChaosReport{}, err
 	}
 	out := ChaosReport{
-		Seed:      rep.Schedule.Seed,
-		Schedule:  rep.Schedule.String(),
-		Verdict:   rep.Verdict(),
-		Passed:    rep.Passed(),
-		Delivered: rep.Delivered,
-		Sent:      rep.Sent,
-		DumpPath:  rep.DumpPath,
-		Elapsed:   rep.Elapsed,
+		Seed:         rep.Schedule.Seed,
+		Schedule:     rep.Schedule.String(),
+		Verdict:      rep.Verdict(),
+		Passed:       rep.Passed(),
+		Delivered:    rep.Delivered,
+		Sent:         rep.Sent,
+		DumpPath:     rep.DumpPath,
+		Replacements: append([]string(nil), rep.Replacements...),
+		Window:       rep.Window,
+		Elapsed:      rep.Elapsed,
+	}
+	for _, h := range rep.Heals {
+		out.Heals = append(out.Heals, ChaosHeal{
+			Failed: h.Failed, Replacement: h.Replacement,
+			FiredAt: h.FiredAt, FailSignalAt: h.FailSignalAt,
+			AdmittedAt: h.AdmittedAt, Recovery: h.Recovery,
+		})
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, ChaosViolation{Oracle: v.Oracle, Detail: v.Detail})
@@ -130,6 +164,12 @@ func FormatChaos(r ChaosReport) string {
 			fmt.Fprintf(&b, " in %v (bound %v)", c.Took.Round(time.Millisecond), c.Bound)
 		}
 		b.WriteByte('\n')
+	}
+	for _, h := range r.Heals {
+		fmt.Fprintf(&b, "  heal %-4s -> %-6s fired t=%v fail-signal t=%v admitted t=%v (recovery %v)\n",
+			h.Failed, h.Replacement,
+			h.FiredAt.Round(time.Millisecond), h.FailSignalAt.Round(time.Millisecond),
+			h.AdmittedAt.Round(time.Millisecond), h.Recovery.Round(time.Millisecond))
 	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  VIOLATION %s: %s\n", v.Oracle, v.Detail)

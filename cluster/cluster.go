@@ -31,6 +31,10 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"fsnewtop/internal/clock"
@@ -99,6 +103,8 @@ type config struct {
 	syncLink     *transport.Profile
 	faultPlan    bool
 	traceReg     *trace.Registry
+	autoHeal     bool
+	healEvery    time.Duration
 }
 
 // Option configures New.
@@ -188,6 +194,34 @@ func WithTrace(reg *trace.Registry) Option {
 	return func(c *config) { c.traceReg = reg }
 }
 
+// WithAutoHeal arms the self-healing plane: a remediation controller
+// watches for member failures — a verified fail-signal from a member's
+// own pair, or (under WithCrashTolerance) exclusion from a
+// majority-installed view — and for each failure closes the dead stack,
+// spawns a fresh replacement pair under a new generation name
+// ("alice~2"), transfers group state to it, and rejoins it into every
+// group bootstrapped through JoinAll. Each remediation is reported on
+// HealEvents. checkEvery paces the failure scan (0 = 50ms). Off by
+// default: without this option a failed member stays failed, exactly as
+// in the paper's static deployments.
+func WithAutoHeal(checkEvery time.Duration) Option {
+	return func(c *config) { c.autoHeal = true; c.healEvery = checkEvery }
+}
+
+// HealEvent reports one remediation performed by the auto-heal
+// controller (WithAutoHeal).
+type HealEvent struct {
+	// Failed is the member whose failure was detected.
+	Failed string
+	// Replacement is the freshly spawned member's name (generation-
+	// suffixed; empty when spawning failed outright).
+	Replacement string
+	// Groups lists the groups the replacement was admitted into.
+	Groups []string
+	// Err is non-nil when the remediation could not complete.
+	Err error
+}
+
 // Half names one node of a member's self-checking replica pair.
 type Half uint8
 
@@ -256,17 +290,42 @@ func (f FaultSpec) spec() (faults.Spec, error) {
 	return s, nil
 }
 
-// Cluster is a running deployment of members over one transport.
+// Cluster is a running deployment of members over one transport. Its
+// membership is dynamic: AddMember (and the auto-heal controller) can
+// grow it after construction, so all roster access is mutex-guarded.
 type Cluster struct {
-	tr      transport.Transport
-	ownsTr  bool
-	crash   bool
-	fab     *fsnewtop.Fabric
-	names   []string
+	tr     transport.Transport
+	ownsTr bool
+	crash  bool
+	cfg    *config
+	fab    *fsnewtop.Fabric
+	naming *orb.Naming // crash mode's shared ORB naming
+
+	mu      sync.RWMutex
+	names   []string // current live roster, in admission order
 	members map[string]*Member
 	// switches is the armed fault plane (WithFaultPlan): per member, the
 	// inert faults.Switch wrapped around each pair half's GC machine.
 	switches map[string]map[Half]*faults.Switch
+	// groups tracks groups bootstrapped through JoinAll — the set the
+	// auto-heal controller rejoins replacements into.
+	groups map[string]bool
+	// gen counts replacement generations per base member name.
+	gen map[string]int
+	// crashSuspects and seenInView implement crash-mode failure
+	// detection: a member that appeared in an installed view of a tracked
+	// group and is later missing from a majority-sized view is suspect.
+	// maxView gates the evidence per group: every member reports the same
+	// group-global view sequence, so anything at or below the highest
+	// ViewID already processed is a stale replay from a slower member's
+	// stream and must not re-suspect a freshly admitted replacement.
+	crashSuspects map[string]bool
+	seenInView    map[string]map[string]bool
+	maxView       map[string]uint64
+
+	healEvents chan HealEvent
+	healStop   chan struct{}
+	healDone   chan struct{}
 }
 
 // New assembles and starts a cluster. Every named member is built,
@@ -292,12 +351,21 @@ func New(opts ...Option) (*Cluster, error) {
 	if cfg.delta == 0 {
 		cfg.delta = 150 * time.Millisecond
 	}
+	if cfg.healEvery == 0 {
+		cfg.healEvery = 50 * time.Millisecond
+	}
 
 	c := &Cluster{
-		tr:      cfg.tr,
-		crash:   cfg.crash,
-		names:   append([]string(nil), cfg.members...),
-		members: make(map[string]*Member, len(cfg.members)),
+		tr:            cfg.tr,
+		crash:         cfg.crash,
+		cfg:           cfg,
+		names:         append([]string(nil), cfg.members...),
+		members:       make(map[string]*Member, len(cfg.members)),
+		groups:        make(map[string]bool),
+		gen:           make(map[string]int),
+		crashSuspects: make(map[string]bool),
+		seenInView:    make(map[string]map[string]bool),
+		maxView:       make(map[string]uint64),
 	}
 	if c.tr == nil {
 		c.tr = netsim.New(cfg.clk, netsim.WithDefaultProfile(transport.Profile{
@@ -314,27 +382,7 @@ func New(opts ...Option) (*Cluster, error) {
 	}()
 
 	if cfg.crash {
-		naming := orb.NewNaming()
-		for _, name := range c.names {
-			svc, err := newtop.New(newtop.Config{
-				Name:         name,
-				Net:          c.tr,
-				Naming:       naming,
-				Clock:        cfg.clk,
-				Trace:        cfg.traceReg,
-				PoolSize:     cfg.poolSize,
-				TickInterval: cfg.tickInterval,
-				GC: group.Config{
-					PingInterval:   cfg.pingInterval,
-					SuspectAfter:   cfg.suspectAfter,
-					ViewRetryAfter: cfg.viewRetry,
-				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
-			}
-			c.members[name] = newMember(name, svc, nil)
-		}
+		c.naming = orb.NewNaming()
 	} else {
 		c.fab = fsnewtop.NewFabric(c.tr, cfg.clk)
 		c.fab.Trace = cfg.traceReg
@@ -346,69 +394,364 @@ func New(opts ...Option) (*Cluster, error) {
 		if cfg.faultPlan {
 			c.switches = make(map[string]map[Half]*faults.Switch, len(c.names))
 		}
-		for _, name := range c.names {
-			peers := make([]string, 0, len(c.names)-1)
-			for _, p := range c.names {
-				if p != name {
-					peers = append(peers, p)
-				}
+	}
+	for _, name := range c.names {
+		peers := make([]string, 0, len(c.names)-1)
+		for _, p := range c.names {
+			if p != name {
+				peers = append(peers, p)
 			}
-			var wrap func(role failsignal.Role, m sm.Machine) sm.Machine
-			if cfg.faultPlan {
-				halves := make(map[Half]*faults.Switch, 2)
-				c.switches[name] = halves
-				wrap = func(role failsignal.Role, m sm.Machine) sm.Machine {
-					sw := faults.NewSwitch(m)
-					if role == failsignal.Leader {
-						halves[LeaderHalf] = sw
-					} else {
-						halves[FollowerHalf] = sw
-					}
-					return sw
-				}
-			}
-			nso, err := fsnewtop.New(fsnewtop.Config{
-				Name:         name,
-				Fabric:       c.fab,
-				Peers:        peers,
-				Delta:        cfg.delta,
-				TickInterval: cfg.tickInterval,
-				PoolSize:     cfg.poolSize,
-				SyncLink:     cfg.syncLink,
-				WrapMachine:  wrap,
-				GC: group.Config{
-					ViewRetryAfter: cfg.viewRetry,
-				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
-			}
-			c.members[name] = newMember(name, nso, nso)
 		}
+		m, err := c.buildMember(name, peers)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
+		}
+		c.members[name] = m
+	}
+	if cfg.autoHeal {
+		c.healEvents = make(chan HealEvent, 256)
+		c.healStop = make(chan struct{})
+		c.healDone = make(chan struct{})
+		go c.healLoop()
 	}
 	built = true
 	return c, nil
 }
 
-// Names returns the member names, in declaration order.
-func (c *Cluster) Names() []string { return append([]string(nil), c.names...) }
+// buildMember spawns one member's full middleware stack on the cluster's
+// transport. peers is the roster the member watches (FS mode: those
+// members are notified by its pair's fail-signal).
+func (c *Cluster) buildMember(name string, peers []string) (*Member, error) {
+	var onView func(View)
+	if c.cfg.autoHeal && c.crash {
+		onView = c.noteView
+	}
+	if c.crash {
+		svc, err := newtop.New(newtop.Config{
+			Name:         name,
+			Net:          c.tr,
+			Naming:       c.naming,
+			Clock:        c.cfg.clk,
+			Trace:        c.cfg.traceReg,
+			PoolSize:     c.cfg.poolSize,
+			TickInterval: c.cfg.tickInterval,
+			GC: group.Config{
+				PingInterval:   c.cfg.pingInterval,
+				SuspectAfter:   c.cfg.suspectAfter,
+				ViewRetryAfter: c.cfg.viewRetry,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newMember(name, svc, nil, onView), nil
+	}
 
-// Member returns the named member, or nil if unknown.
-func (c *Cluster) Member(name string) *Member { return c.members[name] }
+	var wrap func(role failsignal.Role, m sm.Machine) sm.Machine
+	var halves map[Half]*faults.Switch
+	if c.cfg.faultPlan {
+		halves = make(map[Half]*faults.Switch, 2)
+		wrap = func(role failsignal.Role, m sm.Machine) sm.Machine {
+			sw := faults.NewSwitch(m)
+			if role == failsignal.Leader {
+				halves[LeaderHalf] = sw
+			} else {
+				halves[FollowerHalf] = sw
+			}
+			return sw
+		}
+	}
+	nso, err := fsnewtop.New(fsnewtop.Config{
+		Name:         name,
+		Fabric:       c.fab,
+		Peers:        peers,
+		Delta:        c.cfg.delta,
+		TickInterval: c.cfg.tickInterval,
+		PoolSize:     c.cfg.poolSize,
+		SyncLink:     c.cfg.syncLink,
+		WrapMachine:  wrap,
+		GC: group.Config{
+			ViewRetryAfter: c.cfg.viewRetry,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if halves != nil {
+		c.mu.Lock()
+		c.switches[name] = halves
+		c.mu.Unlock()
+	}
+	return newMember(name, nso, nso, onView), nil
+}
+
+// Names returns the current live roster, in admission order. Members
+// replaced by the auto-heal controller are not listed (their handles stay
+// reachable through Member).
+func (c *Cluster) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.names...)
+}
+
+// Member returns the named member, or nil if unknown. Replaced members
+// remain reachable under their old name.
+func (c *Cluster) Member(name string) *Member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.members[name]
+}
 
 // Transport returns the cluster's transport (capability discovery,
 // registering application endpoints next to the members).
 func (c *Cluster) Transport() transport.Transport { return c.tr }
 
 // JoinAll makes every member join groupName with the full cluster
-// membership — the common static-deployment bootstrap.
+// membership — the common static-deployment bootstrap. Groups created
+// here are tracked: the auto-heal controller rejoins replacement members
+// into them.
 func (c *Cluster) JoinAll(groupName string) error {
-	for _, name := range c.names {
-		if err := c.members[name].Join(groupName, c.names...); err != nil {
-			return fmt.Errorf("cluster: %q joining %q: %w", name, groupName, err)
+	c.mu.Lock()
+	names := append([]string(nil), c.names...)
+	c.groups[groupName] = true
+	members := make([]*Member, 0, len(names))
+	for _, name := range names {
+		members = append(members, c.members[name])
+	}
+	c.mu.Unlock()
+	for i, m := range members {
+		if err := m.Join(groupName, names...); err != nil {
+			return fmt.Errorf("cluster: %q joining %q: %w", names[i], groupName, err)
 		}
 	}
 	return nil
+}
+
+// AddMember grows a running cluster: it spawns a brand-new member on the
+// cluster's transport, registers it as a fail-signal watcher target of
+// every live member (and vice versa), and seeks its admission into each
+// named group via the join protocol's state transfer. The call returns
+// once admission is underway; the new member's Views stream reports the
+// installed view that includes it.
+func (c *Cluster) AddMember(name string, groups ...string) (*Member, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: member name must be non-empty")
+	}
+	c.mu.Lock()
+	if c.members[name] != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: member %q already exists", name)
+	}
+	// Reserve the name while building (concurrent AddMember calls).
+	c.members[name] = nil
+	peers := append([]string(nil), c.names...)
+	c.mu.Unlock()
+
+	m, err := c.buildMember(name, peers)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.members, name)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: building member %q: %w", name, err)
+	}
+
+	c.mu.Lock()
+	c.members[name] = m
+	c.names = append(c.names, name)
+	for _, g := range groups {
+		c.groups[g] = true
+	}
+	watchers := make([]*Member, 0, len(peers))
+	for _, p := range peers {
+		if pm := c.members[p]; pm != nil {
+			watchers = append(watchers, pm)
+		}
+	}
+	c.mu.Unlock()
+
+	// Existing pairs were built before this member existed: register it as
+	// a watcher so their fail-signals reach its GC too.
+	for _, pm := range watchers {
+		if pm.nso != nil {
+			pm.nso.AddPeer(name)
+		}
+	}
+	for _, g := range groups {
+		if err := m.JoinExisting(g, peers...); err != nil {
+			return m, fmt.Errorf("cluster: %q joining %q: %w", name, g, err)
+		}
+	}
+	return m, nil
+}
+
+// HealEvents streams the auto-heal controller's remediations. Nil unless
+// the cluster was built with WithAutoHeal. The channel is buffered and
+// never blocks the controller; an undrained channel drops the oldest
+// events.
+func (c *Cluster) HealEvents() <-chan HealEvent { return c.healEvents }
+
+// healLoop is the remediation controller: it scans for failed members on
+// the configured cadence and replaces each with a fresh-generation pair.
+func (c *Cluster) healLoop() {
+	defer close(c.healDone)
+	for {
+		t := c.cfg.clk.NewTimer(c.cfg.healEvery)
+		select {
+		case <-c.healStop:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		for _, victim := range c.detectFailures() {
+			c.heal(victim)
+		}
+	}
+}
+
+// detectFailures returns the live members currently known failed: pairs
+// that fail-signalled (FS mode — local, partition-immune truth), or
+// members excluded from a majority view (crash mode, recorded by
+// noteView).
+func (c *Cluster) detectFailures() []string {
+	c.mu.RLock()
+	names := append([]string(nil), c.names...)
+	c.mu.RUnlock()
+	var victims []string
+	if c.crash {
+		c.mu.Lock()
+		for _, name := range names {
+			if c.crashSuspects[name] {
+				delete(c.crashSuspects, name)
+				victims = append(victims, name)
+			}
+		}
+		c.mu.Unlock()
+		return victims
+	}
+	for _, name := range names {
+		if c.PairFailed(name) {
+			victims = append(victims, name)
+		}
+	}
+	return victims
+}
+
+// noteView records crash-mode exclusion evidence: a member that appeared
+// in an installed view of a tracked group and is later missing from a
+// majority-sized view is suspect. The majority guard keeps a partitioned
+// minority's (possibly false) suspicions from triggering remediation —
+// only the surviving majority side may declare a member dead.
+func (c *Cluster) noteView(v View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.groups[v.Group] {
+		return
+	}
+	if v.ViewID <= c.maxView[v.Group] {
+		return // stale replay from a slower member's view stream
+	}
+	c.maxView[v.Group] = v.ViewID
+	seen := c.seenInView[v.Group]
+	if seen == nil {
+		seen = make(map[string]bool)
+		c.seenInView[v.Group] = seen
+	}
+	for _, m := range v.Members {
+		seen[m] = true
+	}
+	if 2*len(v.Members) <= len(c.names) {
+		return // not a majority view: no exclusion authority
+	}
+	inView := make(map[string]bool, len(v.Members))
+	for _, m := range v.Members {
+		inView[m] = true
+	}
+	for _, name := range c.names {
+		if seen[name] && !inView[name] {
+			c.crashSuspects[name] = true
+		}
+	}
+}
+
+// baseName strips a replacement-generation suffix ("alice~3" → "alice").
+func baseName(name string) string {
+	if i := strings.LastIndex(name, "~"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// heal replaces one failed member: retire it from the roster, close its
+// stack (crash mode: a falsely suspected member is shot before being
+// replaced, turning the suspicion true), spawn a fresh-generation
+// replacement, and admit it into every tracked group. The replacement
+// gets a new name — a pair that has fail-signalled answers everything
+// with its fail-signal forever, so reusing the name would poison the
+// newcomer's traffic.
+func (c *Cluster) heal(victim string) {
+	c.mu.Lock()
+	m := c.members[victim]
+	live := false
+	for i, n := range c.names {
+		if n == victim {
+			c.names = append(c.names[:i], c.names[i+1:]...)
+			live = true
+			break
+		}
+	}
+	if m == nil || !live {
+		c.mu.Unlock()
+		return // already healed (or never ours)
+	}
+	base := baseName(victim)
+	if c.gen[base] == 0 {
+		c.gen[base] = 1
+	}
+	c.gen[base]++
+	replacement := fmt.Sprintf("%s~%d", base, c.gen[base])
+	groups := make([]string, 0, len(c.groups))
+	for g := range c.groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	c.mu.Unlock()
+
+	m.close()
+	_, err := c.AddMember(replacement, groups...)
+	ev := HealEvent{Failed: victim, Replacement: replacement, Groups: groups, Err: err}
+	if err != nil {
+		ev.Replacement = ""
+	}
+	select {
+	case c.healEvents <- ev:
+	default:
+		// Full observer buffer: drop the oldest so the stream stays live.
+		select {
+		case <-c.healEvents:
+		default:
+		}
+		select {
+		case c.healEvents <- ev:
+		default:
+		}
+	}
+}
+
+// KillMember abruptly shuts down name's entire middleware stack — the
+// crash-stop fault. For crash-tolerant clusters this is the canonical
+// kill (the ping suspector, and with WithAutoHeal the remediation
+// controller, take it from there). For fail-signal clusters it models
+// both pair nodes dying at once — outside the paper's fault hypothesis,
+// so nothing will detect it; prefer CrashLeader/CrashFollower, which the
+// pair converts into a verified fail-signal.
+func (c *Cluster) KillMember(name string) bool {
+	if m := c.Member(name); m != nil {
+		m.close()
+		return true
+	}
+	return false
 }
 
 // Stats reports transport-level traffic counters, if the backend accounts
@@ -419,7 +762,7 @@ func (c *Cluster) Stats() (transport.Stats, bool) { return transport.GetStats(c.
 // pair's self-checking protocol converts into a verified fail-signal.
 // Returns false for crash-tolerant clusters and unknown members.
 func (c *Cluster) CrashLeader(name string) bool {
-	if m := c.members[name]; m != nil && m.nso != nil {
+	if m := c.Member(name); m != nil && m.nso != nil {
 		m.nso.Pair().Leader.Crash()
 		return true
 	}
@@ -428,7 +771,7 @@ func (c *Cluster) CrashLeader(name string) bool {
 
 // CrashFollower silently crashes name's follower FSO node.
 func (c *Cluster) CrashFollower(name string) bool {
-	if m := c.members[name]; m != nil && m.nso != nil {
+	if m := c.Member(name); m != nil && m.nso != nil {
 		m.nso.Pair().Follower.Crash()
 		return true
 	}
@@ -438,7 +781,7 @@ func (c *Cluster) CrashFollower(name string) bool {
 // InjectFailSignal makes name's leader FSO emit its fail-signal
 // arbitrarily (the paper's fs2 arbitrary-fail-signalling fault).
 func (c *Cluster) InjectFailSignal(name string) bool {
-	if m := c.members[name]; m != nil && m.nso != nil {
+	if m := c.Member(name); m != nil && m.nso != nil {
 		m.nso.Pair().Leader.InjectFailSignal()
 		return true
 	}
@@ -452,7 +795,9 @@ func (c *Cluster) InjectFailSignal(name string) bool {
 // It fails unless the cluster was built with WithFaultPlan (the switches
 // must wrap the machines at construction time).
 func (c *Cluster) InjectValueFault(name string, half Half, spec FaultSpec) error {
+	c.mu.RLock()
 	halves := c.switches[name]
+	c.mu.RUnlock()
 	if halves == nil {
 		if c.crash {
 			return fmt.Errorf("cluster: %q is crash-tolerant, no pair to fault", name)
@@ -475,8 +820,11 @@ func (c *Cluster) InjectValueFault(name string, half Half, spec FaultSpec) error
 // output or input. Chaos oracles use it to decide whether a member owes a
 // fail-silence conversion.
 func (c *Cluster) ValueFaultsInjected(name string) uint64 {
+	c.mu.RLock()
+	halves := c.switches[name]
+	c.mu.RUnlock()
 	var n uint64
-	for _, sw := range c.switches[name] {
+	for _, sw := range halves {
 		n += sw.Injected()
 	}
 	return n
@@ -487,7 +835,7 @@ func (c *Cluster) ValueFaultsInjected(name string) uint64 {
 // local, partition-immune view of the member's health the fail-silence
 // oracle checks against.
 func (c *Cluster) PairFailed(name string) bool {
-	if m := c.members[name]; m != nil && m.nso != nil {
+	if m := c.Member(name); m != nil && m.nso != nil {
 		return m.nso.Pair().Failed()
 	}
 	return false
@@ -552,10 +900,23 @@ func (c *Cluster) forEachLink(a, b string, f func(transport.FaultInjector, trans
 	return true
 }
 
-// Close shuts every member down, then the transport if the cluster
-// created it.
+// Close stops the auto-heal controller, shuts every member down, then
+// the transport if the cluster created it.
 func (c *Cluster) Close() {
+	if c.healStop != nil {
+		close(c.healStop)
+		<-c.healDone
+		c.healStop = nil
+	}
+	c.mu.Lock()
+	members := make([]*Member, 0, len(c.members))
 	for _, m := range c.members {
+		if m != nil {
+			members = append(members, m)
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range members {
 		m.close()
 	}
 	if c.ownsTr && c.tr != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 
 	"fsnewtop/internal/fsnewtop"
@@ -25,11 +26,14 @@ type Member struct {
 	failSignals chan string
 	stop        chan struct{}
 	closeOnce   sync.Once
+	// onView, when set, tees every installed view to the cluster's
+	// auto-heal controller before it reaches the application.
+	onView func(View)
 }
 
 // newMember wraps a middleware service and starts the pump that converts
 // internal events into the public types.
-func newMember(name string, svc newtop.Service, nso *fsnewtop.NSO) *Member {
+func newMember(name string, svc newtop.Service, nso *fsnewtop.NSO, onView func(View)) *Member {
 	m := &Member{
 		name:        name,
 		svc:         svc,
@@ -38,6 +42,7 @@ func newMember(name string, svc newtop.Service, nso *fsnewtop.NSO) *Member {
 		views:       make(chan View, channelBuffer),
 		failSignals: make(chan string, 64),
 		stop:        make(chan struct{}),
+		onView:      onView,
 	}
 	go m.pump()
 	return m
@@ -64,6 +69,9 @@ func (m *Member) pump() {
 			}
 		case v := <-m.svc.Views():
 			out := View{Group: v.Group, ViewID: v.ViewID, Members: v.Members}
+			if m.onView != nil {
+				m.onView(out)
+			}
 			select {
 			case m.views <- out:
 			case <-m.stop:
@@ -85,6 +93,17 @@ func (m *Member) Name() string { return m.name }
 // invalid — use Cluster.JoinAll for the full-membership bootstrap.
 func (m *Member) Join(groupName string, members ...string) error {
 	return m.svc.Join(groupName, members)
+}
+
+// JoinExisting seeks admission into an already-running group through the
+// given contacts (current members of the group): the group's coordinator
+// transfers a state snapshot to this member, then drives a view change
+// that adds it. Watch Views for the installed view that includes it.
+func (m *Member) JoinExisting(groupName string, contacts ...string) error {
+	if len(contacts) == 0 {
+		return fmt.Errorf("cluster: JoinExisting needs at least one contact")
+	}
+	return m.svc.JoinExisting(groupName, contacts)
 }
 
 // Multicast sends payload to the group at the given ordering level.

@@ -6,6 +6,7 @@
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
 //	fsbench -exp wedge           # repeated FS/tcp wedge repro (fig8 shape)
 //	fsbench -exp chaos -seed 7   # seeded fault-schedule fuzz run (oracles)
+//	fsbench -exp churn -seed 7   # sustained-churn sweep (auto-heal, recovery percentiles)
 //	fsbench -exp all -msgs 1000  # the paper's full message count
 //
 // The chaos lane expands -seed into a deterministic fault schedule
@@ -14,7 +15,15 @@
 // and checks the paper's fail-silence oracles. A violated seed dumps the
 // merged protocol trace and is immediately replayed to demonstrate the
 // deterministic repro. -chaos-runs N sweeps N consecutive seeds; the exit
-// status is the number of failing seeds (capped at 125).
+// status is the number of failing seeds (capped at 125). -churn arms
+// restart churn on the chaos lane (auto-heal plus the replacement
+// oracles).
+//
+// The churn lane sweeps -chaos-runs consecutive churn seeds — every
+// schedule carries at least one crash, the auto-heal controller replaces
+// each fail-signalled pair via state transfer — and aggregates the
+// remediation timelines into membership availability and recovery-time
+// percentiles (fired → fail-signal → readmission).
 //
 // Each experiment runs both NewTOP (crash-tolerant baseline) and
 // FS-NewTOP (Byzantine-tolerant extension) over the same simulated fabric
@@ -55,8 +64,9 @@ func main() {
 		traceDir  = flag.String("trace", "", "directory for protocol trace dumps (stall and SIGQUIT); empty = OS temp dir")
 		stallDump = flag.Bool("stall-dump", true, "write a trace dump (merged event timeline + goroutine stacks) when a run stalls")
 		runs      = flag.Int("runs", 20, "repetitions for -exp wedge")
-		minutes   = flag.Float64("minutes", 0, "active fault window for -exp chaos, in minutes (0 = 10s)")
-		chaosRuns = flag.Int("chaos-runs", 1, "consecutive seeds to sweep for -exp chaos (seed, seed+1, ...)")
+		minutes   = flag.Float64("minutes", 0, "active fault window for -exp chaos/churn, in minutes (0 = 10s)")
+		chaosRuns = flag.Int("chaos-runs", 1, "consecutive seeds to sweep for -exp chaos/churn (seed, seed+1, ...)")
+		churn     = flag.Bool("churn", false, "arm restart churn in -exp chaos (auto-heal + guaranteed crash + replacement oracles)")
 	)
 	flag.Parse()
 
@@ -180,6 +190,7 @@ func main() {
 				Duration:  dur,
 				Transport: *trans,
 				TraceDir:  *traceDir,
+				Churn:     *churn,
 			}
 			rep, err := bench.RunChaos(opts)
 			if err != nil {
@@ -210,6 +221,36 @@ func main() {
 		}
 	}
 
+	// runChurn is the sustained-churn lane: consecutive churn seeds (every
+	// schedule carries at least one crash, auto-heal armed), with the
+	// remediation timelines aggregated into membership availability and
+	// recovery-time percentiles. Exit status is the number of red seeds.
+	runChurn := func() {
+		var dur time.Duration
+		if *minutes > 0 {
+			dur = time.Duration(*minutes * float64(time.Minute))
+		}
+		rep, err := bench.RunChurn(bench.ChurnOptions{
+			Seed:      *seed,
+			Runs:      *chaosRuns,
+			Duration:  dur,
+			Transport: *trans,
+			TraceDir:  *traceDir,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "churn sweep: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(bench.FormatChurn(rep))
+		if rep.Failed > 0 {
+			failed := rep.Failed
+			if failed > 125 {
+				failed = 125
+			}
+			os.Exit(failed)
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "fig6":
@@ -230,8 +271,10 @@ func main() {
 			runWedge()
 		case "chaos":
 			runChaos()
+		case "churn":
+			runChurn()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge, chaos or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge, chaos, churn or all)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println()

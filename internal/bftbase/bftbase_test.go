@@ -67,7 +67,7 @@ func newHarness(t *testing.T, f int, timeout time.Duration) *harness {
 	if err := h.keys.RegisterSigner(cs); err != nil {
 		t.Fatal(err)
 	}
-	h.client = NewClient("cli", f, h.names, h.net, cs)
+	h.client = NewClient("cli", f, h.names, h.net, cs, clock.NewReal())
 	return h
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/sig"
 	"fsnewtop/transport"
 )
@@ -18,6 +19,7 @@ type Client struct {
 	net      transport.Transport
 	signer   sig.Signer
 	addr     transport.Addr
+	clk      clock.Clock
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -30,8 +32,12 @@ type waiting struct {
 	f       int
 }
 
-// NewClient registers a BFT client endpoint.
-func NewClient(name string, f int, replicas []string, net transport.Transport, signer sig.Signer) *Client {
+// NewClient registers a BFT client endpoint. The clock drives the Submit
+// timeout (nil selects the wall clock), mirroring the replica Config.
+func NewClient(name string, f int, replicas []string, net transport.Transport, signer sig.Signer, clk clock.Clock) *Client {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	c := &Client{
 		name:     name,
 		f:        f,
@@ -39,6 +45,7 @@ func NewClient(name string, f int, replicas []string, net transport.Transport, s
 		net:      net,
 		signer:   signer,
 		addr:     transport.Addr("bftclient:" + name),
+		clk:      clk,
 		pending:  make(map[uint64]*waiting),
 	}
 	net.Register(c.addr, c.onMessage)
@@ -99,10 +106,12 @@ func (c *Client) Submit(body []byte, timeout time.Duration) (uint64, error) {
 	if sent == 0 {
 		return 0, fmt.Errorf("bftbase: request %d: no replica reachable", id)
 	}
+	timer := c.clk.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case seq := <-w.decided:
 		return seq, nil
-	case <-time.After(timeout):
+	case <-timer.C():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()

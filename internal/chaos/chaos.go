@@ -59,6 +59,16 @@ type Options struct {
 	// Clock substitutes the harness time source (nil = wall clock). The
 	// schedule's offsets, oracle deadlines and probe timeouts all read it.
 	Clock clock.Clock
+	// Churn arms restart churn: the cluster runs with auto-heal, the
+	// schedule always contains at least one crash, and every member whose
+	// pair fail-signals is replaced by a fresh-generation pair admitted
+	// into the running group via state transfer. The oracles extend to the
+	// replacements: their delivery logs must align with the correct
+	// members' order, they must never fail-signal, each must prove
+	// liveness with its own post-heal probe, and the member count must be
+	// restored after every kill. Needs at least 5 members (a fault budget
+	// of two: the headline value fault plus the churn crash).
+	Churn bool
 }
 
 // withDefaults fills the zero values in.
@@ -116,6 +126,25 @@ type Violation struct {
 	Detail string
 }
 
+// Heal is one completed remediation's timeline, as offsets from the
+// schedule start: the fault fires, the pair fail-signals, and the
+// auto-heal controller's replacement is admitted into an installed view.
+// Recovery (FiredAt → AdmittedAt) is the availability gap the churn
+// bench aggregates into percentiles.
+type Heal struct {
+	Failed      string
+	Replacement string
+	// FiredAt is when the fault first perturbed the member; FailSignalAt
+	// when its pair's verified fail-signal was observed; AdmittedAt when
+	// the replacement first saw itself in an installed view.
+	FiredAt      time.Duration
+	FailSignalAt time.Duration
+	AdmittedAt   time.Duration
+	// Recovery is AdmittedAt − FiredAt: how long the group ran below full
+	// strength for this failure.
+	Recovery time.Duration
+}
+
 // Report is one seed's outcome.
 type Report struct {
 	Schedule    Schedule
@@ -128,6 +157,16 @@ type Report struct {
 	// DumpPath locates the violation trace dump ("" when green or dumping
 	// was disabled).
 	DumpPath string
+	// Replacements lists the fresh-generation members the auto-heal
+	// controller admitted during a churn run, in remediation order.
+	Replacements []string
+	// Heals carries each completed remediation's measured timeline
+	// (churn runs only).
+	Heals []Heal
+	// Window is the measured churn window: schedule start through the end
+	// of the remediation barrier. Recovery gaps in Heals are offsets into
+	// it; 1 − (union of gaps)/Window is the run's membership availability.
+	Window time.Duration
 	// Elapsed is the wall time of the whole run.
 	Elapsed time.Duration
 }
@@ -158,10 +197,12 @@ func (r *Report) Verdict() string {
 // ordered delivery logs, fail-signal observations, and the global set of
 // payloads legitimately multicast.
 type observed struct {
-	mu   sync.Mutex
-	logs map[string][]string        // member → payloads in delivery order
-	fail map[string]map[string]bool // observer → fail-signal sources seen
-	sent map[string]bool            // every payload handed to Multicast
+	mu       sync.Mutex
+	now      func() time.Time           // harness clock, for admission stamps
+	logs     map[string][]string        // member → payloads in delivery order
+	fail     map[string]map[string]bool // observer → fail-signal sources seen
+	sent     map[string]bool            // every payload handed to Multicast
+	admitted map[string]time.Time       // member → when it saw itself in an installed view
 }
 
 func (o *observed) delivered(member, payload string) {
@@ -183,6 +224,38 @@ func (o *observed) record(payload string) {
 	o.mu.Lock()
 	o.sent[payload] = true
 	o.mu.Unlock()
+}
+
+// view records an installed view at member: once a member sees itself in
+// a view it is admitted — the signal the churn harness waits on before
+// expecting a replacement to multicast (the machine silently refuses
+// multicasts while a join is still provisional). The first admission is
+// timestamped; it closes the recovery gap in the heal timeline.
+func (o *observed) view(member string, members []string) {
+	for _, m := range members {
+		if m == member {
+			o.mu.Lock()
+			if o.admitted[member].IsZero() {
+				o.admitted[member] = o.now()
+			}
+			o.mu.Unlock()
+			return
+		}
+	}
+}
+
+// isAdmitted reports whether member has seen itself in an installed view.
+func (o *observed) isAdmitted(member string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return !o.admitted[member].IsZero()
+}
+
+// admittedAt returns the first-admission timestamp (zero if never).
+func (o *observed) admittedAt(member string) time.Time {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.admitted[member]
 }
 
 // deliveredCount returns len(logs[member]) under the lock.
@@ -223,6 +296,9 @@ func Run(opts Options) (*Report, error) {
 	if opts.Members < 4 {
 		return nil, fmt.Errorf("chaos: need at least 4 members (got %d): the fault budget ⌊(n−1)/2⌋ must leave a correct majority", opts.Members)
 	}
+	if opts.Churn && opts.Members < 5 {
+		return nil, fmt.Errorf("chaos: restart churn needs at least 5 members (got %d): the fault budget must cover the headline value fault plus one churn crash", opts.Members)
+	}
 	clk := opts.Clock
 	start := clk.Now()
 	logf := func(format string, args ...any) {
@@ -235,7 +311,7 @@ func Run(opts Options) (*Report, error) {
 	for i := range members {
 		members[i] = fmt.Sprintf("m%d", i)
 	}
-	sched := Generate(GenConfig{Seed: opts.Seed, Members: members, Duration: opts.Duration})
+	sched := Generate(GenConfig{Seed: opts.Seed, Members: members, Duration: opts.Duration, Churn: opts.Churn})
 	rep := &Report{Schedule: sched}
 	logf("seed %d schedule:\n%s", opts.Seed, strings.TrimRight(sched.String(), "\n"))
 
@@ -250,14 +326,18 @@ func Run(opts Options) (*Report, error) {
 	}))
 	defer net.Close()
 
-	c, err := cluster.New(
+	clusterOpts := []cluster.Option{
 		cluster.WithTransport(net),
 		cluster.WithMembers(members...),
 		cluster.WithClock(clk),
 		cluster.WithDelta(opts.Delta),
 		cluster.WithFaultPlan(),
 		cluster.WithTrace(reg),
-	)
+	}
+	if opts.Churn {
+		clusterOpts = append(clusterOpts, cluster.WithAutoHeal(20*time.Millisecond))
+	}
+	c, err := cluster.New(clusterOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: building cluster: %w", err)
 	}
@@ -270,37 +350,77 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	obs := &observed{
-		logs: make(map[string][]string, len(members)),
-		fail: make(map[string]map[string]bool, len(members)),
-		sent: make(map[string]bool),
+		now:      clk.Now,
+		logs:     make(map[string][]string, len(members)),
+		fail:     make(map[string]map[string]bool, len(members)),
+		sent:     make(map[string]bool),
+		admitted: make(map[string]time.Time, len(members)),
 	}
 
-	// Collectors: one drain per member, recording deliveries and
-	// fail-signal observations until the run tears down.
+	// Collectors: one drain per member, recording deliveries, installed
+	// views and fail-signal observations until the run tears down.
 	stopDrain := make(chan struct{})
-	var drainWG sync.WaitGroup
-	for _, name := range members {
-		m := c.Member(name)
-		drainWG.Add(1)
-		go func(name string, m *cluster.Member) {
-			defer drainWG.Done()
+	drain := func(wg *sync.WaitGroup, name string, m *cluster.Member) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
 			for {
 				select {
 				case <-stopDrain:
 					return
 				case d := <-m.Deliveries():
 					obs.delivered(name, string(d.Payload))
-				case <-m.Views():
+				case v := <-m.Views():
+					obs.view(name, v.Members)
 				case src := <-m.FailSignals():
 					obs.failSignal(name, src)
 				}
 			}
-		}(name, m)
+		}()
+	}
+	var drainWG sync.WaitGroup
+	for _, name := range members {
+		drain(&drainWG, name, c.Member(name))
+	}
+
+	// Heal watcher (churn runs): record every remediation and attach a
+	// collector to each replacement the moment it exists. Replacement
+	// drains get their own WaitGroup — they are added while the run is in
+	// flight, and the teardown below waits for the watcher to exit before
+	// waiting on them.
+	type healRecord struct {
+		failed, replacement string
+		err                 error
+	}
+	var healMu sync.Mutex
+	var heals []healRecord
+	var healWG, replWG sync.WaitGroup
+	if opts.Churn {
+		healWG.Add(1)
+		go func() {
+			defer healWG.Done()
+			for {
+				select {
+				case <-stopDrain:
+					return
+				case ev := <-c.HealEvents():
+					logf("heal: %s -> %s groups=%v err=%v", ev.Failed, ev.Replacement, ev.Groups, ev.Err)
+					healMu.Lock()
+					heals = append(heals, healRecord{failed: ev.Failed, replacement: ev.Replacement, err: ev.Err})
+					healMu.Unlock()
+					if ev.Err == nil && ev.Replacement != "" {
+						drain(&replWG, ev.Replacement, c.Member(ev.Replacement))
+					}
+				}
+			}
+		}()
 	}
 	defer func() {
-		c.Close() // stop member pumps first, then release the drains
+		c.Close() // stop member pumps (and the heal controller) first
 		close(stopDrain)
 		drainWG.Wait()
+		healWG.Wait() // watcher exited: no further replacement drains start
+		replWG.Wait()
 	}()
 
 	// Warmup: the group is formed once one multicast reaches everyone.
@@ -467,11 +587,96 @@ func Run(opts Options) (*Report, error) {
 	}
 	waitConversions()
 
+	// Churn barrier: every member whose pair fail-signalled owes a
+	// completed remediation — a successful heal event and a replacement
+	// that has seen itself in an installed view (only then can it
+	// multicast; a provisional joiner's requests are refused). A timeout
+	// here is itself the churn oracle firing.
+	replacementOf := func(failed string) (string, error) {
+		healMu.Lock()
+		defer healMu.Unlock()
+		for _, h := range heals {
+			if h.failed == failed {
+				return h.replacement, h.err
+			}
+		}
+		return "", nil
+	}
+	var replacements []string
+	if opts.Churn {
+		failedMembers := func() []string {
+			faultMu.Lock()
+			defer faultMu.Unlock()
+			var out []string
+			for _, name := range sortedNames(states) {
+				if states[name].failed {
+					out = append(out, name)
+				}
+			}
+			return out
+		}
+		healErr := waitUntil(clk, 30*time.Second, func() bool {
+			for _, name := range failedMembers() {
+				r, herr := replacementOf(name)
+				if herr != nil || r == "" || !obs.isAdmitted(r) {
+					return false
+				}
+			}
+			return true
+		})
+		for _, name := range failedMembers() {
+			r, herr := replacementOf(name)
+			switch {
+			case herr != nil:
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "churn",
+					Detail: fmt.Sprintf("remediation of %s failed: %v", name, herr),
+				})
+			case r == "":
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "churn",
+					Detail: fmt.Sprintf("%s fail-signalled but the auto-heal controller never replaced it", name),
+				})
+			case !obs.isAdmitted(r):
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "churn",
+					Detail: fmt.Sprintf("replacement %s (for %s) was never admitted into a view", r, name),
+				})
+			default:
+				replacements = append(replacements, r)
+				faultMu.Lock()
+				fired, failed := states[name].firedAt, states[name].failAt
+				faultMu.Unlock()
+				admitted := obs.admittedAt(r)
+				rep.Heals = append(rep.Heals, Heal{
+					Failed:       name,
+					Replacement:  r,
+					FiredAt:      fired.Sub(schedStart),
+					FailSignalAt: failed.Sub(schedStart),
+					AdmittedAt:   admitted.Sub(schedStart),
+					Recovery:     admitted.Sub(fired),
+				})
+			}
+		}
+		_ = healErr // diagnosed member-by-member above
+		if got := len(c.Names()); got != opts.Members && len(rep.Violations) == 0 {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "churn",
+				Detail: fmt.Sprintf("member count not restored: roster has %d members, want %d", got, opts.Members),
+			})
+		}
+		rep.Replacements = append([]string(nil), replacements...)
+		rep.Window = clk.Since(schedStart)
+	}
+
 	// Liveness probe: members with no scheduled fault must still reach
 	// agreement — each multicasts a fresh probe, and every one of them
 	// must deliver all of them. (A scheduled-but-unfired value fault may
 	// fire on the probe traffic itself; such members are excluded here and
-	// judged by the conversion oracle instead.)
+	// judged by the conversion oracle instead.) In churn runs the admitted
+	// replacements probe too: each must deliver its own probe — proving
+	// the fresh pair multicasts into, and delivers from, the healed group
+	// — and every correct original must deliver the replacements' probes.
 	scheduledFault := make(map[string]bool)
 	for _, m := range sched.ValueFaulted() {
 		scheduledFault[m] = true
@@ -486,7 +691,7 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	var probes []string
-	for _, m := range correct {
+	for _, m := range append(append([]string(nil), correct...), replacements...) {
 		p := "p|" + m
 		probes = append(probes, p)
 		obs.record(p)
@@ -501,6 +706,11 @@ func Run(opts Options) (*Report, error) {
 	probeErr := waitUntil(clk, probeTimeout, func() bool {
 		for _, m := range correct {
 			if !obs.deliveredAll(m, probes) {
+				return false
+			}
+		}
+		for _, r := range replacements {
+			if !obs.deliveredAll(r, []string{"p|" + r}) {
 				return false
 			}
 		}
@@ -585,7 +795,41 @@ func Run(opts Options) (*Report, error) {
 	if minDelivered > 0 {
 		rep.Delivered = minDelivered
 	}
-	for _, m := range members { // corrupt payloads must not escape at anyone
+	// Replacements join mid-stream: a replacement never sees the prefix
+	// its state-transfer snapshot already settled, so its log must be a
+	// contiguous slice of the reference order starting at its entry point
+	// — same total order, later start.
+	refIndex := make(map[string]int, len(ref))
+	for i, p := range ref {
+		refIndex[p] = i
+	}
+	for _, r := range replacements {
+		l := logs[r]
+		if len(l) == 0 {
+			continue // judged by the liveness probe
+		}
+		k, ok := refIndex[l[0]]
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "delivery-equivalence",
+				Detail: fmt.Sprintf("replacement %s's first delivery %q does not appear in reference member %s's log", r, l[0], refName),
+			})
+			continue
+		}
+		for i, p := range l {
+			if k+i >= len(ref) {
+				break // ran ahead of the reference tail; nothing left to compare
+			}
+			if p != ref[k+i] {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "delivery-equivalence",
+					Detail: fmt.Sprintf("replacement %s diverged %d deliveries after joining: delivered %q but %s's order holds %q there", r, i, p, refName, ref[k+i]),
+				})
+				break
+			}
+		}
+	}
+	for _, m := range sortedNames(logs) { // corrupt payloads must not escape at anyone
 		for _, p := range logs[m] {
 			if !sent[p] {
 				rep.Violations = append(rep.Violations, Violation{
@@ -607,6 +851,14 @@ func Run(opts Options) (*Report, error) {
 			})
 		}
 	}
+	for _, r := range replacements {
+		if c.PairFailed(r) {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "false-suspicion",
+				Detail: fmt.Sprintf("replacement %s has no scheduled fault but its pair fail-signalled", r),
+			})
+		}
+	}
 	for observer, set := range fails {
 		for src := range set {
 			if !scheduledFault[src] {
@@ -624,6 +876,11 @@ func Run(opts Options) (*Report, error) {
 		for _, m := range correct {
 			if !obs.deliveredAll(m, probes) {
 				missing = append(missing, m)
+			}
+		}
+		for _, r := range replacements {
+			if !obs.deliveredAll(r, []string{"p|" + r}) {
+				missing = append(missing, r)
 			}
 		}
 		rep.Violations = append(rep.Violations, Violation{
@@ -664,6 +921,17 @@ func publicSpec(s faults.Spec) cluster.FaultSpec {
 	case faults.ModeMute:
 		out.Kind = cluster.MuteInputs
 	}
+	return out
+}
+
+// sortedNames returns m's keys sorted — deterministic iteration for
+// violation reporting.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }
 

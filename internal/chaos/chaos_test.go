@@ -146,6 +146,87 @@ func TestChaosCorpus(t *testing.T) {
 	}
 }
 
+// TestChurnScheduleAlwaysCrashes: a churn schedule must always contain a
+// crash to restart from (plus the headline value fault), stay inside the
+// fault budget, and remain a pure function of its config.
+func TestChurnScheduleAlwaysCrashes(t *testing.T) {
+	members := []string{"m0", "m1", "m2", "m3", "m4"}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := GenConfig{Seed: seed, Members: members, Duration: 10 * time.Second, Churn: true}
+		s := Generate(cfg)
+		if got := len(s.Crashed()); got == 0 {
+			t.Fatalf("seed %d: churn schedule has no crash", seed)
+		}
+		if got := len(s.ValueFaulted()); got != 1 {
+			t.Fatalf("seed %d: churn schedule has %d value faults, want exactly 1", seed, got)
+		}
+		if got, max := len(s.ValueFaulted())+len(s.Crashed()), (len(members)-1)/2; got > max {
+			t.Fatalf("seed %d: %d faulted members exceeds budget %d", seed, got, max)
+		}
+		if b := Generate(cfg); b.String() != s.String() {
+			t.Fatalf("seed %d: churn schedules differ across runs", seed)
+		}
+		plain := Generate(GenConfig{Seed: seed, Members: members, Duration: 10 * time.Second})
+		if plain.Churn {
+			t.Fatalf("seed %d: non-churn schedule marked churn", seed)
+		}
+	}
+}
+
+// TestChurnRun is the restart-churn path end to end: crashes fire, pairs
+// convert, the auto-heal controller replaces every failed member via
+// state transfer, and the extended oracles (replacement log alignment,
+// restored member count, replacement liveness probes) stay green.
+func TestChurnRun(t *testing.T) {
+	opts := short(1)
+	opts.Churn = true
+	opts.TraceDir = t.TempDir()
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatalf("harness error: %v", err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("churn seed 1 violated oracles: %+v (dump: %s)", rep.Violations, rep.DumpPath)
+	}
+	if len(rep.Replacements) == 0 {
+		t.Fatal("churn run produced no replacements; the schedule must contain a crash and auto-heal must remediate it")
+	}
+	for _, r := range rep.Replacements {
+		if !strings.Contains(r, "~") {
+			t.Fatalf("replacement %q lacks a generation suffix", r)
+		}
+	}
+	// Each remediation carries a measured timeline; the churn bench
+	// aggregates these into availability and recovery percentiles.
+	if len(rep.Heals) != len(rep.Replacements) {
+		t.Fatalf("%d heals recorded for %d replacements", len(rep.Heals), len(rep.Replacements))
+	}
+	if rep.Window <= 0 {
+		t.Fatalf("churn window not measured: %v", rep.Window)
+	}
+	for _, h := range rep.Heals {
+		if h.Failed == "" || h.Replacement == "" {
+			t.Fatalf("heal record incomplete: %+v", h)
+		}
+		if h.FiredAt < 0 || h.FailSignalAt < h.FiredAt || h.AdmittedAt < h.FailSignalAt {
+			t.Fatalf("heal timeline out of order: %+v", h)
+		}
+		if h.Recovery != h.AdmittedAt-h.FiredAt || h.Recovery <= 0 {
+			t.Fatalf("heal recovery inconsistent: %+v", h)
+		}
+	}
+}
+
+// TestChurnTooSmall: churn needs budget for the value fault plus a crash.
+func TestChurnTooSmall(t *testing.T) {
+	opts := short(1)
+	opts.Churn = true
+	opts.Members = 4
+	if _, err := Run(opts); err == nil {
+		t.Fatal("churn accepted 4 members; the fault budget cannot fit a value fault and a crash")
+	}
+}
+
 // TestSameSeedSameVerdict is the replay property: running the same seed
 // twice yields the byte-identical schedule and the same oracle verdict.
 // This is what makes a violated seed a reproducible bug report rather

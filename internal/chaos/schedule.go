@@ -115,14 +115,22 @@ type Schedule struct {
 	Seed     int64
 	Members  []string
 	Duration time.Duration
-	Actions  []Action
+	// Churn records that the schedule was generated for a restart-churn
+	// run: at least one crash is always scheduled, because the remediation
+	// under test needs a kill to restart from.
+	Churn   bool
+	Actions []Action
 }
 
 // String renders the whole schedule canonically.
 func (s Schedule) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos schedule seed=%d members=%d duration=%v\n",
-		s.Seed, len(s.Members), s.Duration)
+	churn := ""
+	if s.Churn {
+		churn = " churn"
+	}
+	fmt.Fprintf(&b, "chaos schedule seed=%d members=%d duration=%v%s\n",
+		s.Seed, len(s.Members), s.Duration, churn)
 	for _, a := range s.Actions {
 		b.WriteString("  " + a.String() + "\n")
 	}
@@ -162,6 +170,11 @@ type GenConfig struct {
 	// always healed by 80% of it, so the tail is a guaranteed
 	// full-connectivity settle window.
 	Duration time.Duration
+	// Churn generates for a restart-churn run: exactly one value fault
+	// (the headline claim stays under test) and at least one crash, so
+	// every churn schedule exercises the kill→replace→state-transfer→
+	// rejoin cycle. Needs enough members for a budget of two.
+	Churn bool
 }
 
 // Generate expands one seed into a schedule. The same config always
@@ -178,7 +191,7 @@ type GenConfig struct {
 func Generate(cfg GenConfig) Schedule {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := len(cfg.Members)
-	s := Schedule{Seed: cfg.Seed, Members: append([]string(nil), cfg.Members...), Duration: cfg.Duration}
+	s := Schedule{Seed: cfg.Seed, Members: append([]string(nil), cfg.Members...), Duration: cfg.Duration, Churn: cfg.Churn}
 	maxFaults := (n - 1) / 2
 	if maxFaults < 1 {
 		maxFaults = 1 // callers enforce n ≥ 4; keep the headline fault regardless
@@ -186,12 +199,22 @@ func Generate(cfg GenConfig) Schedule {
 
 	// How many of each class, inside the fault budget.
 	nValue := 1
-	if maxFaults >= 2 && rng.Intn(2) == 1 {
-		nValue = 2
-	}
 	nCrash := 0
-	if rem := maxFaults - nValue; rem > 0 {
-		nCrash = rng.Intn(rem + 1)
+	if cfg.Churn {
+		// Restart churn needs a kill to restart from: one value fault (the
+		// headline claim stays under test — and with auto-heal, its victim
+		// is replaced too) plus at least one crash.
+		nCrash = 1
+		if rem := maxFaults - 2; rem > 0 {
+			nCrash += rng.Intn(rem + 1)
+		}
+	} else {
+		if maxFaults >= 2 && rng.Intn(2) == 1 {
+			nValue = 2
+		}
+		if rem := maxFaults - nValue; rem > 0 {
+			nCrash = rng.Intn(rem + 1)
+		}
 	}
 	nPart := rng.Intn(3)  // 0..2 partitions
 	nShape := rng.Intn(3) // 0..2 shaped links

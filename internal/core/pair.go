@@ -216,6 +216,14 @@ func (p *Pair) Close() {
 // Failed reports whether either FSO has started fail-signalling.
 func (p *Pair) Failed() bool { return p.Leader.Failed() || p.Follower.Failed() }
 
+// AddWatcher registers name as a fail-signal watcher on both FSOs — the
+// dynamic-membership counterpart of PairConfig.Watchers, used when a
+// member is admitted after this pair started.
+func (p *Pair) AddWatcher(name string) {
+	p.Leader.AddWatcher(name)
+	p.Follower.AddWatcher(name)
+}
+
 // Client submits signed inputs to FS processes on behalf of a plain
 // endpoint. It numbers its requests so replicas can suppress the duplicate
 // copies that dual submission produces.

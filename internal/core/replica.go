@@ -263,6 +263,35 @@ func (r *Replica) Failed() bool {
 // QueueLen reports the DMQ backlog. Used by load tests.
 func (r *Replica) QueueLen() int { return r.queue.len() }
 
+// AddWatcher registers one more logical name to be notified when this
+// replica fail-signals. Deployments with membership churn need it: a
+// member admitted after this pair started must still learn of its
+// failure. If the replica has already failed, the new watcher receives
+// the fail-signal at once — registering late must not mean missing the
+// notification registration exists for.
+func (r *Replica) AddWatcher(name string) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	for _, w := range r.cfg.Watchers {
+		if w == name {
+			r.mu.Unlock()
+			return
+		}
+	}
+	r.cfg.Watchers = append(append([]string(nil), r.cfg.Watchers...), name)
+	failed := r.failed && len(r.failDbl.SecondSig) > 0
+	dbl := r.failDbl
+	if failed {
+		r.stats.FailSignals++
+	}
+	r.mu.Unlock()
+	if failed {
+		r.sendToDest(name, encodeFSPayload(dbl))
+	}
+}
+
 // InjectFailSignal forces the Compare thread into its failure mode, as a
 // node fault could (failure mode fs2: fail-signals at arbitrary instants).
 func (r *Replica) InjectFailSignal() { r.failSignal("injected (fs2)") }

@@ -373,6 +373,20 @@ func (n *NSO) Join(groupName string, members []string) error {
 	return n.orb.OneWay(newtop.InvRef(n.name), newtop.GCRef(n.name), group.KindJoin, orb.BytesAny(payload))
 }
 
+// JoinExisting implements newtop.Service: dynamic admission through the
+// given contacts. The request reaches both pair halves like any other
+// input, so the whole join protocol — ask, snapshot install, admission
+// view — runs inside the byte-compared replicas.
+func (n *NSO) JoinExisting(groupName string, contacts []string) error {
+	payload := group.JoinExistingReq{Group: groupName, Contacts: contacts}.Marshal()
+	return n.orb.OneWay(newtop.InvRef(n.name), newtop.GCRef(n.name), group.KindJoinExisting, orb.BytesAny(payload))
+}
+
+// AddPeer registers one more member as a watcher of this pair's
+// fail-signal. Called when the deployment admits a member after this one
+// started: "all entities expecting a response" must include it.
+func (n *NSO) AddPeer(name string) { n.pair.AddWatcher(name) }
+
 // Multicast implements newtop.Service.
 func (n *NSO) Multicast(groupName string, svc group.Service, payload []byte) error {
 	req := group.McastReq{Group: groupName, Service: svc, Payload: payload}.Marshal()

@@ -11,7 +11,7 @@ import (
 // bookkeeping.
 func (m *Machine) onMcast(req McastReq) {
 	g, ok := m.groups[req.Group]
-	if !ok || !req.Service.valid() {
+	if !ok || g.joining || !req.Service.valid() {
 		return
 	}
 	others := g.others(m.cfg.Self)
@@ -88,6 +88,15 @@ func (m *Machine) onData(from string, d DataMsg) {
 		m.deliver(g, d.Origin, Unreliable, d.Payload)
 		return
 	}
+	m.intakeData(g, d)
+}
+
+// intakeData runs the per-origin contiguity watermark for one message:
+// duplicates drop, out-of-order messages buffer, and in-order messages
+// (plus any buffered follow-on they unblock) go through the service
+// protocol. Shared by the network receive path and the joiner's
+// view-change flush intake.
+func (m *Machine) intakeData(g *groupState, d DataMsg) {
 	s := g.stream(d.Origin)
 	switch {
 	case d.SenderSeq < s.nextSeq:
@@ -137,10 +146,13 @@ func (m *Machine) acceptData(g *groupState, d DataMsg) {
 		g.insertPendingSym(d)
 		// The logical acknowledgement that makes the symmetric protocol
 		// message-intensive: every accepted message is acked to the whole
-		// group.
-		ack := AckMsg{Group: g.name, TS: g.clock, SendSeqHW: g.outSeq}
-		m.trace.Emit(trace.EvAckOut, ack.TS, ack.SendSeqHW, "")
-		m.emit(KindAck, g.others(m.cfg.Self), ack.Marshal())
+		// group. During a view-change flush intake the per-accept acks are
+		// suppressed; the install's consolidated ack covers the batch.
+		if !m.quietAcks {
+			ack := AckMsg{Group: g.name, TS: g.clock, SendSeqHW: g.outSeq}
+			m.trace.Emit(trace.EvAckOut, ack.TS, ack.SendSeqHW, "")
+			m.emit(KindAck, g.others(m.cfg.Self), ack.Marshal())
+		}
 		m.drainSym(g)
 
 	case TotalAsym:
@@ -158,6 +170,11 @@ func (m *Machine) acceptData(g *groupState, d DataMsg) {
 // (the origin acked having *sent* sequences we have never seen — this is
 // how a message lost to us alone is detected).
 func (m *Machine) tickNacks(g *groupState) {
+	if g.joining {
+		// Origins ignore NACKs from non-members; save the traffic until
+		// the admitting view installs.
+		return
+	}
 	for _, origin := range sortedKeys(g.streams) {
 		s := g.streams[origin]
 		if !g.isMember(origin) || origin == m.cfg.Self {

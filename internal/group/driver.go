@@ -65,6 +65,12 @@ func (d *Driver) Join(group string, members []string) {
 	d.runner.Submit(sm.Input{Kind: KindJoin, Payload: JoinReq{Group: group, Members: members}.Marshal()})
 }
 
+// JoinExisting seeks admission into a running group through the given
+// contacts (current members).
+func (d *Driver) JoinExisting(group string, contacts []string) {
+	d.runner.Submit(sm.Input{Kind: KindJoinExisting, Payload: JoinExistingReq{Group: group, Contacts: contacts}.Marshal()})
+}
+
 // Leave abandons a group.
 func (d *Driver) Leave(group string) {
 	d.runner.Submit(sm.Input{Kind: KindLeave, Payload: LeaveReq{Group: group}.Marshal()})

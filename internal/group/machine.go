@@ -70,11 +70,18 @@ type Machine struct {
 	cfg    Config
 	now    time.Time
 	groups map[string]*groupState
+	// joining tracks admissions this process is seeking into running
+	// groups (joiner side of the dynamic join protocol).
+	joining map[string]*pendingJoin
 	// lastHeard tracks process-level peer liveness (SuspectPing mode).
 	lastHeard map[string]time.Time
 	lastPing  time.Time
 	// outs accumulates the current step's outputs.
 	outs []sm.Output
+	// quietAcks suppresses the per-accept symmetric acknowledgement while
+	// a view-change flush is re-offered to intake; the install broadcasts
+	// one consolidated ack instead.
+	quietAcks bool
 	// trace is the event ring (nil when the deployment is untraced).
 	trace *trace.Ring
 }
@@ -86,6 +93,7 @@ func New(cfg Config) *Machine {
 		cfg:       cfg,
 		trace:     cfg.Trace,
 		groups:    make(map[string]*groupState),
+		joining:   make(map[string]*pendingJoin),
 		lastHeard: make(map[string]time.Time),
 	}
 }
@@ -177,6 +185,22 @@ func (m *Machine) Step(in sm.Input) []sm.Output {
 		if v, err := UnmarshalViewInstall(in.Payload); err == nil {
 			m.onViewInstall(in.From, v)
 		}
+	case KindJoinExisting:
+		if j, err := UnmarshalJoinExistingReq(in.Payload); err == nil {
+			m.onJoinExisting(j)
+		}
+	case KindJoinAsk:
+		if j, err := UnmarshalJoinAsk(in.Payload); err == nil {
+			m.onJoinAsk(in.From, j)
+		}
+	case KindState:
+		if s, err := UnmarshalStateSnapshot(in.Payload); err == nil {
+			m.onState(in.From, s)
+		}
+	case KindStateAck:
+		if s, err := UnmarshalStateAck(in.Payload); err == nil {
+			m.onStateAck(in.From, s)
+		}
 	case failsignal.InputFailSignal:
 		if m.cfg.Mode == SuspectFailSignal && in.From != "" {
 			m.suspectEverywhere(in.From)
@@ -233,25 +257,33 @@ func (m *Machine) onJoin(j JoinReq) {
 // system.
 func (m *Machine) onLeave(l LeaveReq) {
 	delete(m.groups, l.Group)
+	delete(m.joining, l.Group)
 }
 
 // onTick advances time-driven behaviour: suspector pings and silence
-// checks, NACK pacing, and stalled-view-change retries.
+// checks, NACK pacing, stalled-view-change retries, and admission
+// progress on both sides of the join protocol.
 func (m *Machine) onTick() {
 	for _, name := range sortedKeys(m.groups) {
 		g := m.groups[name]
 		m.tickNacks(g)
 		m.tickViewChange(g)
 	}
+	m.tickJoins()
 	if m.cfg.Mode == SuspectPing {
 		m.tickSuspector()
 	}
 }
 
 // peers returns all distinct remote members across groups, sorted.
+// Provisional (joining) groups are excluded: until admitted, the joiner
+// neither pings members nor suspects them for not pinging back.
 func (m *Machine) peers() []string {
 	set := make(map[string]struct{})
 	for _, name := range sortedKeys(m.groups) {
+		if m.groups[name].joining {
+			continue
+		}
 		for _, mem := range m.groups[name].members {
 			if mem != m.cfg.Self {
 				set[mem] = struct{}{}

@@ -8,34 +8,41 @@ import (
 
 // maybePropose starts (or restarts) a view change if this member is the
 // coordinator — the least non-suspected member — for the current suspect
-// set. Called whenever suspicions change and from the tick retry.
+// set and any completed admissions. Called whenever suspicions change,
+// when a state transfer completes, and from the tick retry.
 func (m *Machine) maybePropose(g *groupState) {
-	if len(g.suspects) == 0 {
+	if g.joining {
+		return // a provisional joiner never coordinates
+	}
+	joins := g.ackedJoiners()
+	if len(g.suspects) == 0 && len(joins) == 0 {
 		return
 	}
-	candidate := g.candidateMembers()
-	if len(candidate) == 0 || candidate[0] != m.cfg.Self {
+	if g.coordinator() != m.cfg.Self {
 		return
 	}
+	candidate := mergeSorted(g.candidateMembers(), joins)
 	if g.change != nil && sameMembers(g.change.members, candidate) && g.change.acks != nil {
 		return // already coordinating exactly this change
 	}
-	m.propose(g, candidate)
+	m.propose(g, candidate, joins)
 }
 
 // propose issues a fresh proposal epoch for the candidate membership and
-// records the coordinator's own acknowledgement.
-func (m *Machine) propose(g *groupState, candidate []string) {
+// records the coordinator's own acknowledgement. joins lists the candidate
+// members being admitted (not in the current view).
+func (m *Machine) propose(g *groupState, candidate, joins []string) {
 	g.lastEpoch++
 	g.change = &viewChange{
 		viewID:    g.viewID + 1,
 		epoch:     g.lastEpoch,
 		members:   candidate,
+		joins:     joins,
 		acks:      make(map[string]ViewAck, len(candidate)),
 		startedAt: m.now,
 	}
 	m.trace.Emit(trace.EvViewPropose, g.change.viewID, g.change.epoch, m.cfg.Self)
-	prop := ViewProp{Group: g.name, ViewID: g.change.viewID, Epoch: g.change.epoch, Members: candidate}
+	prop := ViewProp{Group: g.name, ViewID: g.change.viewID, Epoch: g.change.epoch, Members: candidate, Joins: joins}
 	to := make([]string, 0, len(candidate)-1)
 	for _, c := range candidate {
 		if c != m.cfg.Self {
@@ -47,6 +54,7 @@ func (m *Machine) propose(g *groupState, candidate []string) {
 		Group:   g.name,
 		ViewID:  g.change.viewID,
 		Epoch:   g.change.epoch,
+		Clock:   g.clock,
 		Pending: g.flushPending(candidate),
 	}
 	m.checkInstall(g)
@@ -61,13 +69,16 @@ func (m *Machine) onViewProp(from string, v ViewProp) {
 		return
 	}
 	sort.Strings(v.Members)
-	if len(v.Members) == 0 || v.Members[0] != from {
-		return // only the least proposed member may coordinate
+	sort.Strings(v.Joins)
+	// Only the least surviving current member may coordinate; admissions
+	// (which may sort below it) never do.
+	if len(v.Members) == 0 || coordinatorOf(v.Members, v.Joins) != from {
+		return
 	}
 	selfIn := false
 	for _, mem := range v.Members {
-		if !g.isMember(mem) {
-			return // proposal may only shrink the membership
+		if !g.isMember(mem) && !contains(v.Joins, mem) {
+			return // may only shrink the membership or admit declared joiners
 		}
 		if mem == m.cfg.Self {
 			selfIn = true
@@ -90,20 +101,22 @@ func (m *Machine) onViewProp(from string, v ViewProp) {
 	// coordinator may have missed our ack); a strictly better proposal
 	// replaces the current one; anything else is ignored.
 	switch {
-	case g.change != nil && v.Epoch == g.change.epoch && from == g.change.members[0] && sameMembers(v.Members, g.change.members):
+	case g.change != nil && v.Epoch == g.change.epoch && from == coordinatorOf(g.change.members, g.change.joins) && sameMembers(v.Members, g.change.members):
 		// re-ack below
 	case g.change == nil || v.Epoch > g.change.epoch ||
-		(v.Epoch == g.change.epoch && from < g.change.members[0]):
-		g.change = &viewChange{viewID: v.ViewID, epoch: v.Epoch, members: v.Members, startedAt: m.now}
+		(v.Epoch == g.change.epoch && from < coordinatorOf(g.change.members, g.change.joins)):
+		g.change = &viewChange{viewID: v.ViewID, epoch: v.Epoch, members: v.Members, joins: v.Joins, startedAt: m.now}
 		m.trace.Emit(trace.EvViewPropose, v.ViewID, v.Epoch, from)
 	default:
 		return
 	}
 	ack := ViewAck{
-		Group:   g.name,
-		ViewID:  v.ViewID,
-		Epoch:   v.Epoch,
-		Pending: g.flushPending(v.Members),
+		Group:    g.name,
+		ViewID:   v.ViewID,
+		Epoch:    v.Epoch,
+		Clock:    g.clock,
+		Suspects: sortedKeys(g.suspects),
+		Pending:  g.flushPending(v.Members),
 	}
 	m.emit(KindViewAck, []string{from}, ack.Marshal())
 }
@@ -125,6 +138,17 @@ func (m *Machine) onViewAck(from string, v ViewAck) {
 	}
 	c.acks[from] = v
 	m.trace.Emit(trace.EvViewAck, v.ViewID, v.Epoch, from)
+	// Reverse suspicion sharing: adopt the acker's suspicions. The
+	// fail-signal broadcast is lossy, and a coordinator that missed one
+	// keeps the dead member in its candidate set, waiting on an ack that
+	// can never come — the ackers that did see the fail-signal are the
+	// only path for that knowledge to reach it. Adoption may supersede
+	// the standing proposal with a shrunken candidate set.
+	for _, s := range v.Suspects {
+		if s != m.cfg.Self {
+			m.suspectEverywhere(s)
+		}
+	}
 	m.checkInstall(g)
 }
 
@@ -142,7 +166,11 @@ func (m *Machine) checkInstall(g *groupState) {
 	}
 	seen := make(map[key]bool)
 	var flush []DataMsg
+	var floor uint64
 	for _, member := range sortedKeys(c.acks) {
+		if clk := c.acks[member].Clock; clk > floor {
+			floor = clk
+		}
 		for _, d := range c.acks[member].Pending {
 			k := key{d.Origin, d.SenderSeq}
 			if !seen[k] {
@@ -152,7 +180,7 @@ func (m *Machine) checkInstall(g *groupState) {
 		}
 	}
 	sortFlush(flush)
-	install := ViewInstall{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, Members: c.members, Flush: flush}
+	install := ViewInstall{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, ClockFloor: floor, Members: c.members, Joins: c.joins, Flush: flush}
 	to := make([]string, 0, len(c.members)-1)
 	for _, mem := range c.members {
 		if mem != m.cfg.Self {
@@ -170,7 +198,8 @@ func (m *Machine) onViewInstall(from string, v ViewInstall) {
 		return
 	}
 	sort.Strings(v.Members)
-	if len(v.Members) == 0 || v.Members[0] != from || !contains(v.Members, m.cfg.Self) {
+	sort.Strings(v.Joins)
+	if len(v.Members) == 0 || coordinatorOf(v.Members, v.Joins) != from || !contains(v.Members, m.cfg.Self) {
 		return
 	}
 	m.doInstall(g, v)
@@ -181,17 +210,74 @@ func (m *Machine) onViewInstall(from string, v ViewInstall) {
 func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 	prevSequencer := g.sequencer()
 	m.trace.Emit(trace.EvViewInstall, v.ViewID, uint64(len(v.Flush)), "")
+	// Admissions enter with clean per-origin state everywhere: any stream
+	// or causal bookkeeping under the same name belongs to an incarnation
+	// that already left the view. The joiner purges its own name too —
+	// its snapshot may carry the departed incarnation's counters, and a
+	// causal send against those would never match the purged members'
+	// expectations.
+	for _, j := range v.Joins {
+		g.purgeMember(j)
+		delete(g.joiners, j)
+	}
 	sortFlush(v.Flush)
+	// Raise the clock over the install's clock floor and every flush
+	// timestamp before anything is delivered. The floor is what makes a
+	// joiner's future sends sort after every message the group delivered
+	// between its snapshot and this install: members froze delivery when
+	// they acked the admission, so the maximum acked clock bounds every
+	// delivered timestamp, and clearing it here means no timestamp minted
+	// in the new view can sort under one already delivered in the old.
+	// The flush raise serves the consolidated acknowledgement broadcast
+	// below: it must promise timestamps above the whole flush so the new
+	// view's gate can advance past it.
+	if v.ClockFloor > g.clock {
+		g.clock = v.ClockFloor
+	}
 	for _, d := range v.Flush {
-		s := g.stream(d.Origin)
-		if d.SenderSeq <= s.symDelivered {
+		if d.TS > g.clock {
+			g.clock = d.TS
+		}
+	}
+	// Run the flush through ordinary intake — members and joiners alike.
+	// Force-delivering it (the historical member path) bypasses the
+	// timestamp gate, which breaks the total order two ways: a member
+	// whose intake still has a gap for a live origin jumps its delivered
+	// watermark over messages it could still recover by retransmission,
+	// and a message multicast concurrently with the view change — after
+	// its sender's flush contribution was taken — can carry a timestamp
+	// at or below the flush tail, so gated and force-delivering members
+	// break the tie differently. Intake keeps every delivery behind the
+	// gate: duplicates drop on the per-origin watermark, gaps buffer and
+	// trigger NACKs (a dead origin's gap is covered by the retained tail
+	// the flush carries), and drainSym emits in (TS, Origin) order at
+	// every member. The per-accept acks are suppressed for the batch; the
+	// install's consolidated ack below covers it.
+	m.quietAcks = true
+	intake := append([]DataMsg(nil), v.Flush...)
+	sort.Slice(intake, func(i, j int) bool {
+		if intake[i].Origin != intake[j].Origin {
+			return intake[i].Origin < intake[j].Origin
+		}
+		return intake[i].SenderSeq < intake[j].SenderSeq
+	})
+	for _, d := range intake {
+		if d.Origin == m.cfg.Self || d.Service != TotalSym {
 			continue
 		}
-		s.symDelivered = d.SenderSeq
-		s.retain(d)
-		m.trace.Emit(trace.EvRoundClose, d.TS, d.SenderSeq, d.Origin)
-		m.deliver(g, d.Origin, TotalSym, d.Payload)
+		m.intakeData(g, d)
 	}
+	m.quietAcks = false
+	// Settle the pending set: entries at or below the delivered watermark
+	// would be re-offered to a later flush and resurrect as duplicates if
+	// a future admission of the same origin purged the watermark.
+	kept := g.pendingSym[:0]
+	for _, d := range g.pendingSym {
+		if d.SenderSeq > g.stream(d.Origin).symDelivered {
+			kept = append(kept, d)
+		}
+	}
+	g.pendingSym = kept
 
 	g.viewID = v.ViewID
 	g.members = v.Members
@@ -219,6 +305,23 @@ func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 		m.resequence(g)
 	}
 
+	if g.joining && contains(v.Members, m.cfg.Self) {
+		// This install is our admission: the provisional snapshot state
+		// becomes full membership.
+		g.joining = false
+		delete(m.joining, g.name)
+	}
+	// Every member announces its observed clock the moment the view
+	// installs. The flush was re-offered to intake above and delivery
+	// gates on the minimum effective clock over the new membership, so
+	// these acks are what advance that minimum past the flush tail; the
+	// promise is valid (the clock was raised over the flush, and future
+	// timestamps exceed it) and becomes effective at each peer once it
+	// holds our data through the send watermark. For a fresh joiner this
+	// also seeds the stream its peers initialised at zero.
+	ack := AckMsg{Group: g.name, TS: g.clock, SendSeqHW: g.outSeq}
+	m.emit(KindAck, g.others(m.cfg.Self), ack.Marshal())
+
 	// Causal precedence may be satisfiable now that departed members'
 	// entries are ignored; symmetric pending likewise re-evaluates against
 	// the shrunken membership.
@@ -229,10 +332,19 @@ func (m *Machine) doInstall(g *groupState, v ViewInstall) {
 }
 
 // tickViewChange retries stalled membership work: coordinators re-propose
-// with a fresh epoch, and pending suspicions with no change in flight get
-// a proposal attempt.
+// with a fresh epoch, and pending suspicions or completed admissions with
+// no change in flight get a proposal attempt.
 func (m *Machine) tickViewChange(g *groupState) {
-	if len(g.suspects) == 0 {
+	if g.joining {
+		return
+	}
+	joins := g.ackedJoiners()
+	// A standing change is driven to resolution even when the conditions
+	// that started it have evaporated (e.g. the joiner behind an admission
+	// proposal died and expired): delivery freezes while a join-bearing
+	// proposal is pending, so abandoning one silently would stall the group.
+	// Re-proposing with the shrunken candidate set supersedes it everywhere.
+	if len(g.suspects) == 0 && len(joins) == 0 && g.change == nil {
 		return
 	}
 	if g.change == nil {
@@ -242,17 +354,17 @@ func (m *Machine) tickViewChange(g *groupState) {
 	if m.now.Sub(g.change.startedAt) < m.cfg.ViewRetryAfter {
 		return
 	}
-	candidate := g.candidateMembers()
-	if len(candidate) == 0 || candidate[0] != m.cfg.Self {
+	if g.coordinator() != m.cfg.Self {
 		return
 	}
+	candidate := mergeSorted(g.candidateMembers(), joins)
 	c := g.change
 	if c.acks != nil && sameMembers(c.members, candidate) {
 		// Same candidate set: re-send the standing proposal (messages may
 		// have been lost or slow) instead of minting a fresh epoch, which
 		// would invalidate acks already in flight.
 		c.startedAt = m.now
-		prop := ViewProp{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, Members: c.members}
+		prop := ViewProp{Group: g.name, ViewID: c.viewID, Epoch: c.epoch, Members: c.members, Joins: c.joins}
 		to := make([]string, 0, len(c.members)-1)
 		for _, mem := range c.members {
 			if mem != m.cfg.Self {
@@ -262,7 +374,7 @@ func (m *Machine) tickViewChange(g *groupState) {
 		m.emit(KindViewProp, to, prop.Marshal())
 		return
 	}
-	m.propose(g, candidate)
+	m.propose(g, candidate, joins)
 }
 
 // sharesGroupWith reports whether peer is a member of any group we are in.
@@ -270,11 +382,25 @@ func (m *Machine) tickViewChange(g *groupState) {
 // groups stops hearing from us and reconfigures on its side.
 func (m *Machine) sharesGroupWith(peer string) bool {
 	for _, name := range sortedKeys(m.groups) {
-		if m.groups[name].isMember(peer) {
+		g := m.groups[name]
+		if !g.joining && g.isMember(peer) {
 			return true
 		}
 	}
 	return false
+}
+
+// mergeSorted unions two string slices into a fresh sorted slice.
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, s := range b {
+		if !contains(out, s) {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func contains(ss []string, s string) bool {

@@ -90,10 +90,27 @@ type viewChange struct {
 	viewID  uint64
 	epoch   uint64
 	members []string // proposed membership, sorted
+	joins   []string // proposed admissions (subset of members), sorted
 	// acks maps acked members to their reported pending sets
 	// (coordinator side only).
 	acks      map[string]ViewAck
 	startedAt time.Time
+}
+
+// joinerState tracks one admission request at a current member. Every
+// member records pending joiners so that a coordinator crash mid-transfer
+// hands the join to the next coordinator rather than dropping it.
+type joinerState struct {
+	// sentViewID is the view the last transmitted snapshot was taken at
+	// (coordinator side; 0 until a snapshot was sent).
+	sentViewID uint64
+	// acked is set once the joiner confirmed installing the snapshot for
+	// sentViewID; it resets whenever the view moves past sentViewID.
+	acked bool
+	// lastSend paces snapshot transmissions; lastAsk expires joiners that
+	// stopped asking.
+	lastSend time.Time
+	lastAsk  time.Time
 }
 
 // groupState is all machine state for one group.
@@ -142,6 +159,13 @@ type groupState struct {
 	// lastEpoch is the highest proposal epoch seen or used for the next
 	// view; proposals must beat it.
 	lastEpoch uint64
+
+	// joining marks a provisional state installed from a snapshot: self is
+	// not yet in members, so the machine neither multicasts, proposes, nor
+	// NACKs in this group until a view admitting it installs.
+	joining bool
+	// joiners tracks pending admission requests from non-members.
+	joiners map[string]*joinerState
 }
 
 func newGroupState(name string, members []string) *groupState {
@@ -157,6 +181,7 @@ func newGroupState(name string, members []string) *groupState {
 		asymData:     make(map[asymKey]DataMsg),
 		asymByGlobal: make(map[uint64]asymKey),
 		suspects:     make(map[string]bool),
+		joiners:      make(map[string]*joinerState),
 	}
 }
 
@@ -208,6 +233,77 @@ func (g *groupState) candidateMembers() []string {
 		}
 	}
 	return out
+}
+
+// coordinator is the least non-suspected current member — the one entitled
+// to drive view changes and state transfers. Joiners never coordinate: the
+// coordinator is computed over the installed membership only, even when a
+// proposal extends it with admissions that sort lower.
+func (g *groupState) coordinator() string {
+	c := g.candidateMembers()
+	if len(c) == 0 {
+		return ""
+	}
+	return c[0]
+}
+
+// coordinatorOf is the least proposed member that is not a fresh admission
+// — the identity entitled to have issued a proposal or install carrying
+// (members, joins).
+func coordinatorOf(members, joins []string) string {
+	for _, m := range members {
+		if !contains(joins, m) {
+			return m
+		}
+	}
+	return ""
+}
+
+// ackedJoiners returns the joiners whose state transfer completed at the
+// current view, sorted — the admissions the next proposal should carry.
+func (g *groupState) ackedJoiners() []string {
+	var out []string
+	for _, j := range sortedKeys(g.joiners) {
+		js := g.joiners[j]
+		if js.acked && js.sentViewID == g.viewID {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// purgeMember drops every per-origin trace of a name whose old incarnation
+// left the view. An admitted joiner must start from a clean slate at every
+// member: stale intake watermarks would discard the new incarnation's
+// restarting sequence numbers, and a stale causal count would wedge its
+// vector clocks forever.
+func (g *groupState) purgeMember(name string) {
+	delete(g.streams, name)
+	delete(g.causalD, name)
+	for k := range g.asymData {
+		if k.origin == name {
+			delete(g.asymData, k)
+		}
+	}
+	// In-flight messages of the old incarnation go too: their sequence
+	// numbers and vector-clock entries reference purged state, so they
+	// could only misdeliver against the new incarnation's counters. (Any
+	// still owed to the surviving members travels in the view's flush,
+	// which is captured before installation purges.)
+	kept := g.pendingSym[:0]
+	for _, d := range g.pendingSym {
+		if d.Origin != name {
+			kept = append(kept, d)
+		}
+	}
+	g.pendingSym = kept
+	keptC := g.causalPend[:0]
+	for _, d := range g.causalPend {
+		if d.Origin != name {
+			keptC = append(keptC, d)
+		}
+	}
+	g.causalPend = keptC
 }
 
 // flushPending is this member's view-change flush contribution: every

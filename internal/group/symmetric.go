@@ -24,6 +24,19 @@ func (m *Machine) onAck(from string, a AckMsg) {
 // member can produce (or still have in flight) a message with a smaller
 // timestamp.
 func (m *Machine) drainSym(g *groupState) {
+	// Admission freeze: from the moment this member acknowledges a
+	// proposal that admits joiners until the view installs, delivery
+	// holds. The acknowledgement reported our clock, and the install's
+	// clock floor — the maximum across all acks — is what guarantees a
+	// joiner's future timestamps sort after everything delivered in the
+	// old view. Delivering past our acked clock here would break that
+	// bound: the joiner could mint a timestamp under a message we already
+	// delivered, and the logs would diverge. Intake, acks and NACK repair
+	// all continue; only delivery waits, and only for the admission
+	// round-trip.
+	if g.change != nil && len(g.change.joins) > 0 {
+		return
+	}
 	for len(g.pendingSym) > 0 {
 		head := g.pendingSym[0]
 		if laggard, minEff := g.minEffMember(m.cfg.Self); head.TS > minEff {

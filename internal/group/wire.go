@@ -33,6 +33,16 @@ const (
 	KindViewAck = "gc.viewack"
 	// KindViewInstall commits a new view with its flush set.
 	KindViewInstall = "gc.viewinstall"
+	// KindJoinExisting (local) asks the machine to seek admission into a
+	// group that is already running, via its current members.
+	KindJoinExisting = "gc.joinx"
+	// KindJoinAsk requests admission from a current member (joiner → view).
+	KindJoinAsk = "gc.joinask"
+	// KindState carries the coordinator's state-transfer snapshot to a
+	// joiner.
+	KindState = "gc.state"
+	// KindStateAck confirms a snapshot installation (joiner → coordinator).
+	KindStateAck = "gc.stateack"
 )
 
 // Output kinds produced for the local application (sm.LocalDelivery).
@@ -287,12 +297,17 @@ func UnmarshalNackMsg(b []byte) (NackMsg, error) {
 }
 
 // ViewProp proposes view (ViewID, Members) for a group; Epoch disambiguates
-// successive proposals for the same ViewID as suspicions accumulate.
+// successive proposals for the same ViewID as suspicions accumulate. Joins
+// lists the proposed members that are not part of the current view — the
+// admissions driven by a completed state transfer. Every other proposed
+// member must already be in the view, so a proposal can only shrink the
+// current membership or extend it with explicitly-declared joiners.
 type ViewProp struct {
 	Group   string
 	ViewID  uint64
 	Epoch   uint64
 	Members []string
+	Joins   []string
 }
 
 // Marshal returns the canonical encoding.
@@ -302,13 +317,14 @@ func (v ViewProp) Marshal() []byte {
 	w.U64(v.ViewID)
 	w.U64(v.Epoch)
 	w.StringSlice(v.Members)
+	w.StringSlice(v.Joins)
 	return w.Bytes()
 }
 
 // UnmarshalViewProp decodes a ViewProp.
 func UnmarshalViewProp(b []byte) (ViewProp, error) {
 	r := codec.NewReader(b)
-	v := ViewProp{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Members: r.StringSlice()}
+	v := ViewProp{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Members: r.StringSlice(), Joins: r.StringSlice()}
 	if err := r.Finish(); err != nil {
 		return ViewProp{}, fmt.Errorf("group: decoding view proposal: %w", err)
 	}
@@ -316,12 +332,25 @@ func UnmarshalViewProp(b []byte) (ViewProp, error) {
 }
 
 // ViewAck accepts a proposal and reports the acker's pending (received but
-// undelivered) totally-ordered messages for the flush.
+// undelivered) totally-ordered messages for the flush, together with the
+// acker's logical clock. For proposals that admit joiners the clock
+// matters: symmetric delivery freezes at the acker from this moment until
+// the install, so the maximum acked clock bounds every timestamp any
+// member can have delivered before installing — the floor a joiner's own
+// clock must clear before it may mint timestamps of its own.
+//
+// Suspects carries the acker's suspect set back to the coordinator —
+// suspicion sharing in the reverse direction of the proposal's. Verified
+// fail-signals are broadcast once and the broadcast is lossy; a
+// coordinator that missed one would otherwise keep proposing a candidate
+// set containing the dead member, whose ack it waits on forever.
 type ViewAck struct {
-	Group   string
-	ViewID  uint64
-	Epoch   uint64
-	Pending []DataMsg
+	Group    string
+	ViewID   uint64
+	Epoch    uint64
+	Clock    uint64
+	Suspects []string
+	Pending  []DataMsg
 }
 
 // Marshal returns the canonical encoding.
@@ -330,6 +359,8 @@ func (v ViewAck) Marshal() []byte {
 	w.String(v.Group)
 	w.U64(v.ViewID)
 	w.U64(v.Epoch)
+	w.U64(v.Clock)
+	w.StringSlice(v.Suspects)
 	w.U32(uint32(len(v.Pending)))
 	for _, d := range v.Pending {
 		d.encode(w)
@@ -340,7 +371,7 @@ func (v ViewAck) Marshal() []byte {
 // UnmarshalViewAck decodes a ViewAck.
 func UnmarshalViewAck(b []byte) (ViewAck, error) {
 	r := codec.NewReader(b)
-	v := ViewAck{Group: r.String(), ViewID: r.U64(), Epoch: r.U64()}
+	v := ViewAck{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Clock: r.U64(), Suspects: r.StringSlice()}
 	n := int(r.U32())
 	if r.Err() == nil && n <= 1<<20 {
 		for i := 0; i < n; i++ {
@@ -354,13 +385,22 @@ func UnmarshalViewAck(b []byte) (ViewAck, error) {
 }
 
 // ViewInstall commits a view together with the flush set every survivor
-// must deliver before installing.
+// must deliver before installing. Joins mirrors the accepted proposal's
+// admissions, so receivers can validate the coordinator (the least member
+// of the pre-join view) and reset stale per-joiner state. ClockFloor is
+// the maximum logical clock across the collected acknowledgements:
+// because delivery freezes at each member once it acks a join-bearing
+// proposal, no member can have delivered a timestamp above the floor
+// before installing, so a joiner that raises its clock to the floor can
+// never mint a timestamp that sorts under an already-delivered message.
 type ViewInstall struct {
-	Group   string
-	ViewID  uint64
-	Epoch   uint64
-	Members []string
-	Flush   []DataMsg
+	Group      string
+	ViewID     uint64
+	Epoch      uint64
+	ClockFloor uint64
+	Members    []string
+	Joins      []string
+	Flush      []DataMsg
 }
 
 // Marshal returns the canonical encoding.
@@ -369,7 +409,9 @@ func (v ViewInstall) Marshal() []byte {
 	w.String(v.Group)
 	w.U64(v.ViewID)
 	w.U64(v.Epoch)
+	w.U64(v.ClockFloor)
 	w.StringSlice(v.Members)
+	w.StringSlice(v.Joins)
 	w.U32(uint32(len(v.Flush)))
 	for _, d := range v.Flush {
 		d.encode(w)
@@ -380,7 +422,7 @@ func (v ViewInstall) Marshal() []byte {
 // UnmarshalViewInstall decodes a ViewInstall.
 func UnmarshalViewInstall(b []byte) (ViewInstall, error) {
 	r := codec.NewReader(b)
-	v := ViewInstall{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), Members: r.StringSlice()}
+	v := ViewInstall{Group: r.String(), ViewID: r.U64(), Epoch: r.U64(), ClockFloor: r.U64(), Members: r.StringSlice(), Joins: r.StringSlice()}
 	n := int(r.U32())
 	if r.Err() == nil && n <= 1<<20 {
 		for i := 0; i < n; i++ {
@@ -391,6 +433,202 @@ func UnmarshalViewInstall(b []byte) (ViewInstall, error) {
 		return ViewInstall{}, fmt.Errorf("group: decoding view install: %w", err)
 	}
 	return v, nil
+}
+
+// JoinExistingReq is the payload of KindJoinExisting: a local request to
+// seek admission into a running group through any of the given contacts
+// (current members of the group).
+type JoinExistingReq struct {
+	Group    string
+	Contacts []string
+}
+
+// Marshal returns the canonical encoding.
+func (j JoinExistingReq) Marshal() []byte {
+	w := codec.NewWriter(64)
+	w.String(j.Group)
+	w.StringSlice(j.Contacts)
+	return w.Bytes()
+}
+
+// UnmarshalJoinExistingReq decodes a JoinExistingReq.
+func UnmarshalJoinExistingReq(b []byte) (JoinExistingReq, error) {
+	r := codec.NewReader(b)
+	j := JoinExistingReq{Group: r.String(), Contacts: r.StringSlice()}
+	if err := r.Finish(); err != nil {
+		return JoinExistingReq{}, fmt.Errorf("group: decoding join-existing: %w", err)
+	}
+	return j, nil
+}
+
+// JoinAsk is the payload of KindJoinAsk; the joiner's identity travels as
+// the transport-level sender.
+type JoinAsk struct {
+	Group string
+}
+
+// Marshal returns the canonical encoding.
+func (j JoinAsk) Marshal() []byte {
+	w := codec.NewWriter(16)
+	w.String(j.Group)
+	return w.Bytes()
+}
+
+// UnmarshalJoinAsk decodes a JoinAsk.
+func UnmarshalJoinAsk(b []byte) (JoinAsk, error) {
+	r := codec.NewReader(b)
+	j := JoinAsk{Group: r.String()}
+	if err := r.Finish(); err != nil {
+		return JoinAsk{}, fmt.Errorf("group: decoding join ask: %w", err)
+	}
+	return j, nil
+}
+
+// StreamState is one member's per-origin intake state inside a snapshot.
+type StreamState struct {
+	Member        string
+	NextSeq       uint64
+	LastDataTS    uint64
+	AckTS         uint64
+	AckHW         uint64
+	SymDelivered  uint64
+	AsymDelivered uint64
+	// Retained is the origin's retained delivered tail, ascending by
+	// sender sequence.
+	Retained []DataMsg
+}
+
+// StateSnapshot is the coordinator's state transfer to a joiner: the
+// installed view, the Lamport clock, the causal delivery vector, every
+// origin's intake watermarks plus retained delivered tail, and every
+// accepted-but-undelivered message. The undelivered sets must travel with
+// the watermarks: the copied NextSeq counts those messages as received, so
+// omitting them would open gaps the NACK protocol can never detect.
+type StateSnapshot struct {
+	Group      string
+	ViewID     uint64
+	Epoch      uint64
+	Members    []string
+	Clock      uint64
+	CausalD    []VCEntry
+	Streams    []StreamState
+	PendingSym []DataMsg
+	CausalPend []DataMsg
+	AsymData   []DataMsg
+}
+
+func encodeDataMsgs(w *codec.Writer, ds []DataMsg) {
+	w.U32(uint32(len(ds)))
+	for _, d := range ds {
+		d.encode(w)
+	}
+}
+
+func decodeDataMsgs(r *codec.Reader) []DataMsg {
+	n := int(r.U32())
+	if r.Err() != nil || n > 1<<20 {
+		return nil
+	}
+	out := make([]DataMsg, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodeDataMsg(r))
+	}
+	return out
+}
+
+// Marshal returns the canonical encoding.
+func (s StateSnapshot) Marshal() []byte {
+	w := codec.NewWriter(256)
+	w.String(s.Group)
+	w.U64(s.ViewID)
+	w.U64(s.Epoch)
+	w.StringSlice(s.Members)
+	w.U64(s.Clock)
+	w.U32(uint32(len(s.CausalD)))
+	for _, e := range s.CausalD {
+		w.String(e.Member)
+		w.U64(e.Count)
+	}
+	w.U32(uint32(len(s.Streams)))
+	for _, st := range s.Streams {
+		w.String(st.Member)
+		w.U64(st.NextSeq)
+		w.U64(st.LastDataTS)
+		w.U64(st.AckTS)
+		w.U64(st.AckHW)
+		w.U64(st.SymDelivered)
+		w.U64(st.AsymDelivered)
+		encodeDataMsgs(w, st.Retained)
+	}
+	encodeDataMsgs(w, s.PendingSym)
+	encodeDataMsgs(w, s.CausalPend)
+	encodeDataMsgs(w, s.AsymData)
+	return w.Bytes()
+}
+
+// UnmarshalStateSnapshot decodes a StateSnapshot.
+func UnmarshalStateSnapshot(b []byte) (StateSnapshot, error) {
+	r := codec.NewReader(b)
+	s := StateSnapshot{
+		Group:   r.String(),
+		ViewID:  r.U64(),
+		Epoch:   r.U64(),
+		Members: r.StringSlice(),
+		Clock:   r.U64(),
+	}
+	n := int(r.U32())
+	if r.Err() == nil && n <= 1<<20 {
+		for i := 0; i < n; i++ {
+			s.CausalD = append(s.CausalD, VCEntry{Member: r.String(), Count: r.U64()})
+		}
+	}
+	n = int(r.U32())
+	if r.Err() == nil && n <= 1<<20 {
+		for i := 0; i < n; i++ {
+			st := StreamState{
+				Member:        r.String(),
+				NextSeq:       r.U64(),
+				LastDataTS:    r.U64(),
+				AckTS:         r.U64(),
+				AckHW:         r.U64(),
+				SymDelivered:  r.U64(),
+				AsymDelivered: r.U64(),
+			}
+			st.Retained = decodeDataMsgs(r)
+			s.Streams = append(s.Streams, st)
+		}
+	}
+	s.PendingSym = decodeDataMsgs(r)
+	s.CausalPend = decodeDataMsgs(r)
+	s.AsymData = decodeDataMsgs(r)
+	if err := r.Finish(); err != nil {
+		return StateSnapshot{}, fmt.Errorf("group: decoding state snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// StateAck confirms a joiner installed the snapshot taken at ViewID.
+type StateAck struct {
+	Group  string
+	ViewID uint64
+}
+
+// Marshal returns the canonical encoding.
+func (s StateAck) Marshal() []byte {
+	w := codec.NewWriter(24)
+	w.String(s.Group)
+	w.U64(s.ViewID)
+	return w.Bytes()
+}
+
+// UnmarshalStateAck decodes a StateAck.
+func UnmarshalStateAck(b []byte) (StateAck, error) {
+	r := codec.NewReader(b)
+	s := StateAck{Group: r.String(), ViewID: r.U64()}
+	if err := r.Finish(); err != nil {
+		return StateAck{}, fmt.Errorf("group: decoding state ack: %w", err)
+	}
+	return s, nil
 }
 
 // Deliver is the local-delivery payload handed to the application.

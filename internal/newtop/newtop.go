@@ -54,6 +54,10 @@ type Service interface {
 	Name() string
 	// Join creates/joins a group with a static initial membership.
 	Join(groupName string, members []string) error
+	// JoinExisting seeks admission into an already-running group through
+	// the given contacts (current members): the coordinator transfers a
+	// state snapshot and then drives a view change that adds this member.
+	JoinExisting(groupName string, contacts []string) error
 	// Multicast sends payload to the group with the given service level.
 	Multicast(groupName string, svc group.Service, payload []byte) error
 	// Deliveries streams delivered messages. The consumer must drain it;
@@ -214,6 +218,13 @@ func (n *NSO) Name() string { return n.name }
 func (n *NSO) Join(groupName string, members []string) error {
 	payload := group.JoinReq{Group: groupName, Members: members}.Marshal()
 	return n.orb.OneWay(InvRef(n.name), GCRef(n.name), group.KindJoin, orb.BytesAny(payload))
+}
+
+// JoinExisting implements Service: dynamic admission through the given
+// contacts, driven entirely by the GC machine's join protocol.
+func (n *NSO) JoinExisting(groupName string, contacts []string) error {
+	payload := group.JoinExistingReq{Group: groupName, Contacts: contacts}.Marshal()
+	return n.orb.OneWay(InvRef(n.name), GCRef(n.name), group.KindJoinExisting, orb.BytesAny(payload))
 }
 
 // Multicast implements Service.

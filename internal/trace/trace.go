@@ -119,6 +119,18 @@ const (
 	// EvWatchFire: a deadline expired and was handed to the replica.
 	// A=output seq, Note=key.
 	EvWatchFire
+	// EvJoinAsk: an admission request was received from a non-member.
+	// Note=joiner.
+	EvJoinAsk
+	// EvStateSnap: the coordinator sent a state-transfer snapshot. A=view
+	// id, B=stream count, Note=joiner.
+	EvStateSnap
+	// EvStateAck: a joiner confirmed installing a snapshot. A=view id,
+	// Note=joiner (coordinator side) or coordinator (joiner side).
+	EvStateAck
+	// EvJoinAdmit: a view admitting fresh members installed. A=view id,
+	// B=join count.
+	EvJoinAdmit
 )
 
 var kindNames = map[Kind]string{
@@ -150,6 +162,10 @@ var kindNames = map[Kind]string{
 	EvWatchCancel:  "watch-cancel",
 	EvWatchRearm:   "watch-rearm",
 	EvWatchFire:    "watch-fire",
+	EvJoinAsk:      "join-ask",
+	EvStateSnap:    "state-snap",
+	EvStateAck:     "state-ack",
+	EvJoinAdmit:    "join-admit",
 }
 
 // String implements fmt.Stringer.

@@ -163,7 +163,7 @@ func (p *peer) ensureConn(fresh bool) net.Conn {
 		return nil
 	}
 	conn := p.conn
-	backingOff := time.Now().Before(p.nextDial)
+	backingOff := p.t.clk.Now().Before(p.nextDial)
 	p.mu.Unlock()
 	if conn != nil && !fresh {
 		return conn
@@ -177,7 +177,7 @@ func (p *peer) ensureConn(fresh bool) net.Conn {
 	c, err := net.DialTimeout("tcp", p.hostport, p.t.dialTimeout)
 	if err != nil {
 		p.mu.Lock()
-		p.nextDial = time.Now().Add(redialBackoff)
+		p.nextDial = p.t.clk.Now().Add(redialBackoff)
 		p.mu.Unlock()
 		return nil
 	}

@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/codec"
 	"fsnewtop/transport"
 )
@@ -135,6 +136,11 @@ type Config struct {
 	// flow-control quanta (~200 ms on Linux loopback) and the pair's
 	// "synchronous" fwd/single streams froze with it. Zero means 4.
 	ConnsPerPeer int
+	// Clock is the time source for redial backoff and the incarnation
+	// epoch. Nil selects the wall clock — the right choice for every real
+	// deployment; tests that want to step through backoff windows hand in
+	// a manual clock.
+	Clock clock.Clock
 }
 
 // Transport is a TCP-backed transport.Transport for one process.
@@ -145,6 +151,7 @@ type Transport struct {
 	dialTimeout  time.Duration
 	maxFrame     int
 	connsPerPeer int
+	clk          clock.Clock
 	// epoch identifies this Transport incarnation on the wire (its start
 	// time): receivers use it to tell a restarted sender (sequence
 	// numbers legitimately restarting) from a reconnect replay.
@@ -189,10 +196,19 @@ var ErrClosed = fmt.Errorf("tcpnet: %w", transport.ErrClosed)
 // address book. It wraps transport.ErrUnknownAddr.
 var ErrUnknownAddr = fmt.Errorf("tcpnet: %w", transport.ErrUnknownAddr)
 
+// epochCounter disambiguates Transport incarnations created at the same
+// clock reading — two instants a manual clock cannot tell apart must
+// still mint distinct epochs, or a restarted sender's frames would be
+// dropped as replays of its previous life.
+var epochCounter atomic.Uint64
+
 // New starts a Transport: it binds the listener and begins accepting.
 func New(cfg Config) (*Transport, error) {
 	if cfg.Listen == "" {
 		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
@@ -204,7 +220,8 @@ func New(cfg Config) (*Transport, error) {
 		ln:          ln,
 		dialTimeout: cfg.DialTimeout,
 		maxFrame:    cfg.MaxFrame,
-		epoch:       uint64(time.Now().UnixNano()),
+		clk:         cfg.Clock,
+		epoch:       uint64(cfg.Clock.Now().UnixNano()) + epochCounter.Add(1),
 		handlers:    make(map[transport.Addr]transport.Handler),
 		peers:       make(map[peerKey]*peer),
 		inbound:     make(map[net.Conn]struct{}),
