@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fsnewtop/deploy"
+	"fsnewtop/internal/metrics"
+)
+
+// TransportTCPProcs labels results measured across real OS processes —
+// one process per member, orchestrated by the deploy plane — as opposed
+// to TransportTCP, which is real sockets but one shared Go runtime.
+// Recording it as its own substrate keeps the three trajectories
+// (simulator, in-process TCP, multi-process TCP) from ever silently
+// mixing in series files.
+const TransportTCPProcs = "tcp-procs"
+
+// ProcOptions parameterises one multi-process experiment run. It mirrors
+// the subset of Options the distributed lane supports: FS-NewTOP only
+// (the crash baseline's ORB naming cannot span processes), HMAC only
+// (RSA keys cannot be derived cross-process), real wire (no simulator
+// shaping).
+type ProcOptions struct {
+	// Members is the group size — one worker OS process per member.
+	Members int
+	// MsgsPerMember, MsgSize, SendInterval, PoolSize: the workload shape,
+	// as in Options.
+	MsgsPerMember int
+	MsgSize       int
+	SendInterval  time.Duration
+	PoolSize      int
+	// Delta is δ for each worker's pair (0 = Members×500ms, 1s floor).
+	Delta time.Duration
+	// StallAfter is the controller's run-phase watchdog window
+	// (0 = 2×Delta, 5s floor). Phase timeouts use the deploy defaults.
+	StallAfter time.Duration
+	// TraceDir is where workers write trace dumps.
+	TraceDir string
+	// Command is the worker argv (empty = this binary with -worker).
+	Command []string
+	// Log receives controller diagnostics (nil discards).
+	Log io.Writer
+	// OnRunStart is the deploy plane's kill-test hook.
+	OnRunStart func(pids map[string]int)
+}
+
+func (o *ProcOptions) fillDefaults() {
+	if o.Members == 0 {
+		o.Members = 3
+	}
+	if o.MsgsPerMember == 0 {
+		o.MsgsPerMember = 50
+	}
+	if o.MsgSize < 3 {
+		o.MsgSize = 3
+	}
+	if o.SendInterval == 0 {
+		o.SendInterval = 2 * time.Millisecond
+	}
+}
+
+// RunProcs executes one experiment with every member in its own OS
+// process, via the deploy plane, and aggregates the workers'
+// measurements into the same Result shape the in-process lanes produce
+// (substrate "tcp-procs"). On error the Result still carries whatever
+// was aggregated before the failure — usually nothing, since workers
+// report stats only at completion.
+func RunProcs(opts ProcOptions) (Result, error) {
+	opts.fillDefaults()
+	dres, err := deploy.Run(deploy.Config{
+		Workers: opts.Members,
+		Command: opts.Command,
+		Spec: deploy.RunSpec{
+			MsgsPerMember: opts.MsgsPerMember,
+			MsgSize:       opts.MsgSize,
+			SendInterval:  opts.SendInterval,
+			Delta:         opts.Delta,
+			PoolSize:      opts.PoolSize,
+			TraceDir:      opts.TraceDir,
+		},
+		StallAfter: opts.StallAfter,
+		Log:        opts.Log,
+		OnRunStart: opts.OnRunStart,
+	})
+	res := aggregateProcs(opts, dres.Stats)
+	res.Elapsed = dres.Elapsed
+	return res, err
+}
+
+// aggregateProcs folds per-worker measurements into one Result:
+// delivery counts, traffic and crypto counters sum; raw latency samples
+// merge into one cluster-wide distribution (exact percentiles, not an
+// average of per-worker percentiles); throughput averages each member's
+// expected-per-member over its own completion window, exactly as the
+// in-process Run computes it.
+func aggregateProcs(opts ProcOptions, stats []deploy.WorkerStats) Result {
+	expectedPerMember := opts.Members * opts.MsgsPerMember
+	res := Result{
+		System:        SystemFSNewTOP,
+		Transport:     TransportTCPProcs,
+		Members:       opts.Members,
+		MsgSize:       opts.MsgSize,
+		MsgsPerMember: opts.MsgsPerMember,
+		Expected:      opts.Members * expectedPerMember,
+	}
+	var lat metrics.Histogram
+	var tput float64
+	counted := 0
+	for _, ws := range stats {
+		res.Delivered += ws.Delivered
+		for _, ns := range ws.LatencyNS {
+			lat.Record(time.Duration(ns))
+		}
+		if ws.Window > 0 {
+			tput += float64(expectedPerMember) / ws.Window.Seconds()
+			counted++
+		}
+		res.NetMessages += ws.NetMessages
+		res.NetBytes += ws.NetBytes
+		res.SigCacheHits += ws.SigCacheHits
+		res.SigCacheMisses += ws.SigCacheMisses
+	}
+	res.Latency = lat.Snapshot()
+	if counted > 0 {
+		res.Throughput = tput / float64(counted)
+	}
+	return res
+}
+
+// ProcsNewTOPSkip is the Row.NewTOPErr note every multi-process sweep
+// point carries: the crash-tolerant baseline cannot run in this lane.
+const ProcsNewTOPSkip = "skipped: crash-tolerant NewTOP cannot span processes (in-process ORB naming)"
+
+// RunFig8Procs sweeps the Figure 8 shape — throughput vs message size —
+// with every member in its own OS process. Only the FS-NewTOP column is
+// measured: the NewTOP baseline's ORB naming is an in-process object, so
+// each row records the skip instead of silently reporting zeros.
+func RunFig8Procs(base ProcOptions, bytes []int) []Row {
+	if bytes == nil {
+		bytes = []int{3, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240}
+	}
+	if base.Members == 0 {
+		base.Members = 10
+	}
+	rows := make([]Row, 0, len(bytes))
+	for _, b := range bytes {
+		o := base
+		o.MsgSize = b
+		row := Row{X: b, NewTOPErr: ProcsNewTOPSkip}
+		res, err := RunProcs(o)
+		row.FSNewTOP = res
+		if err != nil {
+			row.FSNewTOPErr = err.Error()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFig8Procs renders the multi-process Figure 8 table. Unlike
+// FormatFig8 it has no NewTOP column to compare against — that baseline
+// is structurally absent here, not merely errored.
+func FormatFig8Procs(rows []Row) string {
+	var b strings.Builder
+	members := 0
+	for _, r := range rows {
+		if r.FSNewTOP.Members > 0 {
+			members = r.FSNewTOP.Members
+			break
+		}
+	}
+	fmt.Fprintf(&b, "Figure 8 (multi-process) — FS-NewTOP throughput vs message size (%d worker processes, msgs/second)\n", members)
+	fmt.Fprintf(&b, "%-8s %14s %16s %12s\n", "size", "throughput", "latency mean", "delivered")
+	for _, r := range rows {
+		if r.FSNewTOPErr != "" {
+			fmt.Fprintf(&b, "%-8s run error: %s\n", sizeLabel(r.X), r.FSNewTOPErr)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %14.0f %16v %6d/%d\n",
+			sizeLabel(r.X), r.FSNewTOP.Throughput,
+			r.FSNewTOP.Latency.Mean.Round(time.Microsecond),
+			r.FSNewTOP.Delivered, r.FSNewTOP.Expected)
+	}
+	return b.String()
+}

@@ -758,6 +758,16 @@ func (c *Cluster) KillMember(name string) bool {
 // for them.
 func (c *Cluster) Stats() (transport.Stats, bool) { return transport.GetStats(c.tr) }
 
+// SigCacheStats reports the fail-signal fabric's verification-memo
+// counters (both zero for crash-tolerant clusters, which sign nothing).
+func (c *Cluster) SigCacheStats() (hits, misses uint64) {
+	if c.fab == nil {
+		return 0, 0
+	}
+	cs := c.fab.SigCacheStats()
+	return cs.Hits, cs.Misses
+}
+
 // CrashLeader silently crashes name's leader FSO node — the fault the
 // pair's self-checking protocol converts into a verified fail-signal.
 // Returns false for crash-tolerant clusters and unknown members.

@@ -3,6 +3,8 @@
 //	fsbench -exp fig6            # ordering latency vs group size (2..10)
 //	fsbench -exp fig7            # throughput vs group size (2..15)
 //	fsbench -exp fig8            # throughput vs message size (10 members)
+//	fsbench -exp fig8 -procs 10  # same sweep, one OS process per member
+//	fsbench -worker              # internal: deploy-plane worker process
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
 //	fsbench -exp wedge           # repeated FS/tcp wedge repro (fig8 shape)
 //	fsbench -exp chaos -seed 7   # seeded fault-schedule fuzz run (oracles)
@@ -31,6 +33,14 @@
 // experiments additionally write machine-readable series as
 // BENCH_fig{6,7,8}.json under <dir>, so the perf trajectory stays
 // diffable across changes.
+//
+// With -procs N the fig8 sweep runs through the deploy plane instead:
+// fsbench re-executes itself N times with -worker, one OS process per
+// member, and drives the fleet over stdin/stdout control pipes. That
+// lane is FS-NewTOP over real TCP only — the crash baseline's ORB
+// naming and the RSA key exchange are in-process objects — so -procs
+// refuses every other experiment, -rsa, and an explicit -transport.
+// Its series file is BENCH_fig8_procs.json (substrate "tcp-procs").
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	"fsnewtop/bench"
+	"fsnewtop/deploy"
 )
 
 func main() {
@@ -67,8 +78,51 @@ func main() {
 		minutes   = flag.Float64("minutes", 0, "active fault window for -exp chaos/churn, in minutes (0 = 10s)")
 		chaosRuns = flag.Int("chaos-runs", 1, "consecutive seeds to sweep for -exp chaos/churn (seed, seed+1, ...)")
 		churn     = flag.Bool("churn", false, "arm restart churn in -exp chaos (auto-heal + guaranteed crash + replacement oracles)")
+		procs     = flag.Int("procs", 0, "run -exp fig8 with this many worker OS processes, one member each (FS-NewTOP over real TCP)")
+		worker    = flag.Bool("worker", false, "internal: run as a deploy-plane worker, driven over stdin/stdout by a controller")
 	)
 	flag.Parse()
+
+	// Worker mode replaces the whole benchmark surface: the process serves
+	// the deploy control protocol until told to shut down. It must win
+	// before fsbench's own SIGQUIT handler installs — the worker wires its
+	// own (SIGTERM/SIGINT graceful, SIGQUIT trace dump).
+	if *worker {
+		if err := deploy.RunWorker(deploy.WorkerConfig{}); err != nil {
+			fmt.Fprintf(os.Stderr, "fsbench worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The multi-process lane supports exactly one shape. Refuse everything
+	// else loudly rather than silently falling back to in-process runs —
+	// a "distributed" number measured in one address space is worse than
+	// an error.
+	if *procs != 0 {
+		fail := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			os.Exit(2)
+		}
+		if *exp != "fig8" {
+			fail("-procs only supports -exp fig8 (got -exp %s): chaos, churn, soak and the other lanes need in-process fault hooks and shared naming that cannot span OS processes", *exp)
+		}
+		if *procs < 2 {
+			fail("-procs %d: a distributed run needs at least two worker processes", *procs)
+		}
+		if *rsa {
+			fail("-procs is incompatible with -rsa: RSA keys are exchanged through in-process registries and cannot be derived by independent worker processes (the procs lane authenticates with derived HMAC keys)")
+		}
+		explicitTransport := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "transport" {
+				explicitTransport = true
+			}
+		})
+		if explicitTransport {
+			fail("-procs chooses its own substrate (%s: real TCP across OS processes); drop -transport", bench.TransportTCPProcs)
+		}
+	}
 
 	// SIGQUIT dumps the active run's protocol trace and keeps going, so a
 	// hung or crawling sweep can be inspected without killing it mid-run
@@ -103,7 +157,7 @@ func main() {
 		NoStallDump:   !*stallDump,
 	}
 
-	emit := func(figure, xAxis string, rows []bench.Row) {
+	emit := func(figure, xAxis, substrate string, rows []bench.Row) {
 		if *jsonDir == "" {
 			return
 		}
@@ -113,13 +167,15 @@ func main() {
 			// trajectory they are compared against.
 			figure += "_rsa"
 		}
-		if *trans == bench.TransportTCP {
+		if substrate == bench.TransportTCP {
 			// Real-socket runs likewise get their own files: the series
 			// metadata records the substrate, and the filename keeps a tcp
-			// run from ever overwriting the netsim trajectory.
+			// run from ever overwriting the netsim trajectory. The
+			// multi-process lane needs no suffix here — its figure name
+			// ("fig8_procs") already is the lane.
 			figure += "_tcp"
 		}
-		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, *trans, rows))
+		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, substrate, rows))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s series: %v\n", figure, err)
 			os.Exit(1)
@@ -251,20 +307,53 @@ func main() {
 		}
 	}
 
+	// runFig8Procs is the distributed fig8 lane: every member its own OS
+	// process (this binary re-executed with -worker), orchestrated by the
+	// deploy controller, aggregated into the same Row/series shapes.
+	runFig8Procs := func() {
+		popts := bench.ProcOptions{
+			Members:       *procs,
+			MsgsPerMember: *msgs,
+			SendInterval:  *interval,
+			PoolSize:      *pool,
+			TraceDir:      *traceDir,
+			Log:           os.Stderr,
+		}
+		rows := bench.RunFig8Procs(popts, parseInts(*sizes))
+		fmt.Print(bench.FormatFig8Procs(rows))
+		emit("fig8_procs", "bytes", bench.TransportTCPProcs, rows)
+		failed := 0
+		for _, r := range rows {
+			if r.FSNewTOPErr != "" {
+				failed++
+			}
+		}
+		if failed > 0 {
+			if failed > 125 {
+				failed = 125
+			}
+			os.Exit(failed)
+		}
+	}
+
 	run := func(name string) {
 		switch name {
 		case "fig6":
 			rows := bench.RunFig6(base, parseInts(*members))
 			fmt.Print(bench.FormatFig6(rows))
-			emit("fig6", "members", rows)
+			emit("fig6", "members", *trans, rows)
 		case "fig7":
 			rows := bench.RunFig7(base, parseInts(*members))
 			fmt.Print(bench.FormatFig7(rows))
-			emit("fig7", "members", rows)
+			emit("fig7", "members", *trans, rows)
 		case "fig8":
+			if *procs != 0 {
+				runFig8Procs()
+				break
+			}
 			rows := bench.RunFig8(base, parseInts(*sizes))
 			fmt.Print(bench.FormatFig8(rows))
-			emit("fig8", "bytes", rows)
+			emit("fig8", "bytes", *trans, rows)
 		case "soak":
 			runSoak()
 		case "wedge":
@@ -280,7 +369,11 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v transport=%s\n\n", *msgs, *interval, *pool, *rsa, *trans)
+	banner := *trans
+	if *procs != 0 {
+		banner = fmt.Sprintf("%s procs=%d", bench.TransportTCPProcs, *procs)
+	}
+	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v transport=%s\n\n", *msgs, *interval, *pool, *rsa, banner)
 	if *exp == "all" {
 		for _, name := range []string{"fig6", "fig7", "fig8"} {
 			run(name)

@@ -1,0 +1,90 @@
+// Package deploy is the multi-process orchestration plane: it turns the
+// repository's single-process deployments (every member sharing one Go
+// runtime, even over real TCP sockets) into a real distributed system —
+// one OS process per member, no shared memory, with a controller process
+// supervising the fleet.
+//
+// # Roles
+//
+// A controller (Run) spawns one worker process per member, assembles the
+// placement manifest from the endpoints the workers report, and drives
+// them through the run lifecycle over a line-delimited JSON control
+// protocol on each worker's stdin/stdout:
+//
+//	hello → configure → ready → join → joined → run → progress* → done → shutdown
+//
+// A worker (RunWorker, reached via `fsbench -worker`) binds an ephemeral
+// TCP port, reports it, seeds its private address book from the manifest
+// (and optionally $TCPNET_PEERS), brings up its single member via
+// cluster.NewSolo, joins the group with the full roster, and runs the
+// benchmark workload, streaming progress so the controller's stall
+// watchdog has a pulse to monitor.
+//
+// # Supervision
+//
+// The controller never hangs on a sick fleet: every phase has a timeout
+// on an injected clock, the run phase has a round-progress stall watchdog
+// (the PR 4 discipline, one layer up), and a worker that dies mid-run
+// surfaces as a structured *WorkerError naming the member, its exit
+// status, its last control message, and the trace dumps collected from
+// the survivors. Workers are killed with the controller (PDEATHSIG on
+// Linux) and additionally exit when their control stdin closes, so no
+// orchestration failure mode leaks orphan processes.
+package deploy
+
+import (
+	"time"
+)
+
+// RunSpec parameterises the distributed workload; the controller fills it
+// and ships it to every worker in the configure message. Durations travel
+// as nanoseconds (Go's JSON encoding of time.Duration), which is fine
+// because both ends of the protocol are this package.
+type RunSpec struct {
+	// Group is the group every member joins and multicasts into.
+	Group string `json:"group"`
+	// MsgsPerMember is how many messages each member multicasts.
+	MsgsPerMember int `json:"msgs_per_member"`
+	// MsgSize is the payload size in bytes (minimum 3: the sequence
+	// number must fit).
+	MsgSize int `json:"msg_size"`
+	// SendInterval is the regular inter-send gap at each member.
+	SendInterval time.Duration `json:"send_interval"`
+	// Delta is δ for each member's fail-signal pair.
+	Delta time.Duration `json:"delta"`
+	// TickInterval paces each member's protocol machine.
+	TickInterval time.Duration `json:"tick_interval"`
+	// PoolSize is the ORB request pool (0 = the paper's 10).
+	PoolSize int `json:"pool_size"`
+	// TraceDir is where workers write trace dumps (stall collection and
+	// SIGQUIT). Empty selects the OS temp directory.
+	TraceDir string `json:"trace_dir,omitempty"`
+}
+
+// WorkerStats is one worker's measurements, shipped in its done message
+// and aggregated by the controller's caller (bench.RunProcs).
+type WorkerStats struct {
+	// Member is the worker's member name.
+	Member string `json:"member"`
+	// Delivered counts deliveries observed at this member when the stats
+	// were snapshotted; Expected is members × msgs-per-member.
+	Delivered int `json:"delivered"`
+	Expected  int `json:"expected"`
+	// Window is run start → the instant Expected was reached at this
+	// member (the per-member throughput denominator).
+	Window time.Duration `json:"window"`
+	// Elapsed is run start → stats snapshot.
+	Elapsed time.Duration `json:"elapsed"`
+	// LatencyNS are the raw sender-observed ordering latency samples
+	// (multicast → own delivery), in nanoseconds. Raw samples — not a
+	// pre-digested summary — so the controller side can merge the
+	// cluster-wide distribution and compute exact percentiles.
+	LatencyNS []int64 `json:"latency_ns,omitempty"`
+	// NetMessages and NetBytes are this process's transport counters.
+	NetMessages uint64 `json:"net_messages"`
+	NetBytes    uint64 `json:"net_bytes"`
+	// SigCacheHits and SigCacheMisses are this process's
+	// verification-memo counters.
+	SigCacheHits   uint64 `json:"sig_cache_hits"`
+	SigCacheMisses uint64 `json:"sig_cache_misses"`
+}

@@ -1,0 +1,15 @@
+//go:build linux
+
+package deploy
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig asks the kernel to SIGKILL the worker the moment its
+// parent (the controller) dies, so even a controller that is itself
+// SIGKILLed — no deferred cleanup runs — cannot leak member processes.
+func setPdeathsig(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

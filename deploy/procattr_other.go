@@ -1,0 +1,9 @@
+//go:build !linux
+
+package deploy
+
+import "os/exec"
+
+// setPdeathsig is a no-op off Linux (PDEATHSIG is Linux-only); the
+// worker's stdin-EOF exit is the orphan backstop there.
+func setPdeathsig(cmd *exec.Cmd) {}

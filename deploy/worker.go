@@ -1,0 +1,351 @@
+package deploy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fsnewtop/cluster"
+	"fsnewtop/internal/trace"
+	"fsnewtop/transport/tcpnet"
+)
+
+// WorkerConfig configures one worker process. The zero value is correct
+// for a real worker (control protocol on stdin/stdout, diagnostics on
+// stderr, ephemeral loopback listen); tests substitute pipes.
+type WorkerConfig struct {
+	// In and Out carry the control protocol (default os.Stdin/os.Stdout).
+	In  io.Reader
+	Out io.Writer
+	// Log receives human-readable diagnostics (default os.Stderr).
+	Log io.Writer
+	// Listen is the TCP listen address (default ephemeral loopback).
+	Listen string
+}
+
+// RunWorker hosts one member process end to end: bind, hello, configure
+// (address-book seeding + cluster.NewSolo), join, workload, shutdown. It
+// returns nil on a clean shutdown — whether requested by the controller
+// or by SIGTERM/SIGINT, both of which deregister the member's addresses
+// from the shared book (tcpnet's Close withdraws them) before exiting —
+// and an error on anything fatal, after reporting it to the controller.
+// SIGQUIT dumps the protocol trace ring and keeps running. A closed
+// control stdin means the controller is gone: the worker cleans up and
+// exits instead of lingering as an orphan.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.In == nil {
+		cfg.In = os.Stdin
+	}
+	if cfg.Out == nil {
+		cfg.Out = os.Stdout
+	}
+	if cfg.Log == nil {
+		cfg.Log = os.Stderr
+	}
+	out := newMsgWriter(cfg.Out)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(cfg.Log, "worker: "+format+"\n", args...)
+	}
+
+	term := make(chan os.Signal, 2)
+	signal.Notify(term, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(term)
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+
+	msgs := make(chan Msg, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		readErr <- readMsgs(cfg.In, func(m Msg) { msgs <- m })
+	}()
+
+	tr, err := tcpnet.New(tcpnet.Config{Listen: cfg.Listen})
+	if err != nil {
+		_ = out.send(Msg{Type: msgError, Error: err.Error()})
+		return err
+	}
+	defer tr.Close()
+
+	reg := trace.NewRegistry(0, nil)
+	var traceDir atomic.Value // string; set by configure, read by SIGQUIT
+	traceDir.Store("")
+	go func() {
+		for range sigq {
+			dir, _ := traceDir.Load().(string)
+			if path, err := reg.Dump(dir, "sigquit"); err != nil {
+				logf("SIGQUIT trace dump failed: %v", err)
+			} else {
+				logf("SIGQUIT trace dump: %s", path)
+			}
+		}
+	}()
+
+	if err := out.send(Msg{Type: msgHello, Endpoint: tr.Endpoint(), PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("deploy: sending hello: %w", err)
+	}
+
+	var (
+		cl      *cluster.Cluster
+		mem     *cluster.Member
+		spec    RunSpec
+		self    string
+		roster  []string
+		stopRun chan struct{}
+	)
+	closeRun := func() {
+		if stopRun != nil {
+			close(stopRun)
+			stopRun = nil
+		}
+	}
+	defer func() {
+		closeRun()
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	fail := func(err error) error {
+		_ = out.send(Msg{Type: msgError, Member: self, Error: err.Error()})
+		return err
+	}
+
+	for {
+		select {
+		case <-term:
+			logf("%s: terminated by signal; deregistering and closing transport", self)
+			return nil
+		case err := <-readErr:
+			if err == nil || errors.Is(err, io.EOF) {
+				return fmt.Errorf("deploy: control channel closed by controller")
+			}
+			return fmt.Errorf("deploy: control channel: %w", err)
+		case m := <-msgs:
+			switch m.Type {
+			case msgConfigure:
+				if m.Spec == nil || m.Member == "" || len(m.Roster) < 2 {
+					return fail(fmt.Errorf("deploy: malformed configure (member %q, %d roster entries, spec present: %v)",
+						m.Member, len(m.Roster), m.Spec != nil))
+				}
+				spec, self, roster = *m.Spec, m.Member, m.Roster
+				traceDir.Store(spec.TraceDir)
+				// Round-tripping the manifest through MarshalPeers +
+				// LoadPeers reuses the book's full validation (duplicate
+				// addresses, malformed endpoints) on the receiving side,
+				// where a bad entry would otherwise surface as a silent
+				// resolution failure mid-run.
+				data, err := tcpnet.MarshalPeers(m.Manifest)
+				if err != nil {
+					return fail(fmt.Errorf("deploy: manifest from controller: %w", err))
+				}
+				if _, err := tr.Book().LoadPeers(bytes.NewReader(data)); err != nil {
+					return fail(fmt.Errorf("deploy: seeding address book: %w", err))
+				}
+				if _, err := tr.Book().PeersFromEnv(); err != nil {
+					return fail(fmt.Errorf("deploy: %w", err))
+				}
+				peers := make([]string, 0, len(roster)-1)
+				selfListed := false
+				for _, r := range roster {
+					if r == self {
+						selfListed = true
+						continue
+					}
+					peers = append(peers, r)
+				}
+				if !selfListed {
+					return fail(fmt.Errorf("deploy: roster %v does not include this worker's member %q", roster, self))
+				}
+				cl, err = cluster.NewSolo(self, peers,
+					cluster.WithTransport(tr),
+					cluster.WithDelta(spec.Delta),
+					cluster.WithTickInterval(spec.TickInterval),
+					cluster.WithPoolSize(spec.PoolSize),
+					cluster.WithTrace(reg),
+				)
+				if err != nil {
+					return fail(err)
+				}
+				mem = cl.Member(self)
+				logf("%s: configured (endpoint %s, %d peers)", self, tr.Endpoint(), len(peers))
+				if err := out.send(Msg{Type: msgReady, Member: self}); err != nil {
+					return err
+				}
+			case msgJoin:
+				if mem == nil {
+					return fail(fmt.Errorf("deploy: join before configure"))
+				}
+				if err := mem.Join(spec.Group, roster...); err != nil {
+					return fail(fmt.Errorf("deploy: %s joining %q: %w", self, spec.Group, err))
+				}
+				if err := out.send(Msg{Type: msgJoined, Member: self}); err != nil {
+					return err
+				}
+			case msgRun:
+				if mem == nil {
+					return fail(fmt.Errorf("deploy: run before configure"))
+				}
+				if stopRun != nil {
+					return fail(fmt.Errorf("deploy: duplicate run"))
+				}
+				stopRun = make(chan struct{})
+				go runWorkload(out, tr, cl, mem, self, spec, len(roster), stopRun, logf)
+			case msgDump:
+				dir, _ := traceDir.Load().(string)
+				rsp := Msg{Type: msgDumped, Member: self}
+				if path, err := reg.Dump(dir, "collect"); err != nil {
+					rsp.Error = err.Error()
+				} else {
+					rsp.Path = path
+				}
+				if err := out.send(rsp); err != nil {
+					return err
+				}
+			case msgShutdown:
+				logf("%s: shutdown", self)
+				return nil
+			}
+		}
+	}
+}
+
+// runWorkload drives the benchmark workload at one member: multicast
+// MsgsPerMember messages at the configured interval, count deliveries
+// until every member's messages arrived, and ship the measurements. It
+// reports progress on a fixed pulse so the controller's stall watchdog
+// can tell a slow run from a wedged one. It never times out on its own:
+// run-phase deadlines are the controller's job, and a watchdogged worker
+// is still reachable for dump collection.
+func runWorkload(out *msgWriter, tr *tcpnet.Transport, cl *cluster.Cluster, mem *cluster.Member,
+	self string, spec RunSpec, members int, stop <-chan struct{}, logf func(string, ...any)) {
+	expected := members * spec.MsgsPerMember
+	var (
+		mu       sync.Mutex
+		count    int
+		sendTime = make(map[int]time.Time, spec.MsgsPerMember)
+		latency  = make([]int64, 0, spec.MsgsPerMember)
+		doneAt   time.Time
+	)
+	start := time.Now()
+	finished := make(chan struct{})
+
+	// Receiver: count deliveries and record own-origin ordering latency.
+	// It keeps draining after the local target is reached — slower
+	// members are still sending, and an undrained channel would apply
+	// backpressure to their protocol traffic through this member.
+	go func() {
+		done := false
+		for {
+			select {
+			case <-stop:
+				return
+			case d := <-mem.Deliveries():
+				mu.Lock()
+				count++
+				if d.Origin == self {
+					if seq := decodeSeq(d.Payload); seq >= 0 {
+						if t0, ok := sendTime[seq]; ok {
+							latency = append(latency, time.Since(t0).Nanoseconds())
+							delete(sendTime, seq)
+						}
+					}
+				}
+				if !done && count >= expected {
+					done = true
+					doneAt = time.Now()
+					close(finished)
+				}
+				mu.Unlock()
+			case <-mem.Views():
+			}
+		}
+	}()
+
+	// Sender: the paper's workload shape — a regular send interval.
+	go func() {
+		ticker := time.NewTicker(spec.SendInterval)
+		defer ticker.Stop()
+		for seq := 1; seq <= spec.MsgsPerMember; seq++ {
+			payload := encodeSeq(seq, spec.MsgSize)
+			mu.Lock()
+			sendTime[seq] = time.Now()
+			mu.Unlock()
+			if err := mem.Multicast(spec.Group, cluster.TotalSym, payload); err != nil {
+				logf("%s: multicast seq %d: %v", self, seq, err)
+				return
+			}
+			select {
+			case <-ticker.C:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	progress := time.NewTicker(250 * time.Millisecond)
+	defer progress.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-progress.C:
+			mu.Lock()
+			n := count
+			mu.Unlock()
+			_ = out.send(Msg{Type: msgProgress, Member: self, Delivered: n})
+		case <-finished:
+			mu.Lock()
+			stats := WorkerStats{
+				Member:    self,
+				Delivered: count,
+				Expected:  expected,
+				Window:    doneAt.Sub(start),
+				Elapsed:   time.Since(start),
+				LatencyNS: append([]int64(nil), latency...),
+			}
+			mu.Unlock()
+			ts := tr.Stats()
+			stats.NetMessages, stats.NetBytes = ts.Sent, ts.Bytes
+			stats.SigCacheHits, stats.SigCacheMisses = cl.SigCacheStats()
+			_ = out.send(Msg{Type: msgDone, Member: self, Stats: &stats})
+			return
+		}
+	}
+}
+
+// encodeSeq and decodeSeq mirror the bench package's payload framing
+// (3-byte big-endian for the paper's tiny messages, 4-byte otherwise) so
+// a multi-process run measures the same workload bytes as an in-process
+// one. Duplicated rather than imported: bench aggregates deploy results,
+// so deploy cannot import bench.
+func encodeSeq(seq, size int) []byte {
+	p := make([]byte, size)
+	if size >= 4 {
+		p[0] = byte(seq >> 24)
+		p[1] = byte(seq >> 16)
+		p[2] = byte(seq >> 8)
+		p[3] = byte(seq)
+		return p
+	}
+	p[0] = byte(seq >> 16)
+	p[1] = byte(seq >> 8)
+	p[2] = byte(seq)
+	return p
+}
+
+func decodeSeq(p []byte) int {
+	if len(p) >= 4 {
+		return int(p[0])<<24 | int(p[1])<<16 | int(p[2])<<8 | int(p[3])
+	}
+	if len(p) >= 3 {
+		return int(p[0])<<16 | int(p[1])<<8 | int(p[2])
+	}
+	return -1
+}

@@ -203,6 +203,17 @@ func invName(member string) string { return member + "/inv" }
 // address a member occupies on the wire.
 func InvAddr(member string) transport.Addr { return transport.Addr("addr:" + invName(member)) }
 
+// DerivedHMACKey is the deterministic key-derivation convention the
+// default (HMAC) signer uses: every identity's key is a pure function of
+// the identity itself. Within one process that is merely a convenience;
+// across processes it is what lets a multi-process deployment verify
+// remote members' signatures without a key-distribution channel — each
+// process derives its peers' verification keys locally. The paper's
+// MD5-with-RSA scheme has no such shortcut (keys are minted at signer
+// construction), which is why multi-process bring-up is HMAC-only until a
+// real key-exchange step exists.
+func DerivedHMACKey(id sig.ID) []byte { return []byte("hmac-key:" + string(id)) }
+
 // New builds and starts one FS-NewTOP member: the FS pair wrapping its GC
 // machine, the invocation-layer endpoint, and the interceptor that
 // redirects GC-bound ORB calls into the pair.
@@ -223,7 +234,7 @@ func New(cfg Config) (*NSO, error) {
 	newSigner := fab.NewSigner
 	if newSigner == nil {
 		newSigner = func(id sig.ID) (sig.Signer, error) {
-			return sig.NewHMACSigner(id, []byte("hmac-key:"+string(id))), nil
+			return sig.NewHMACSigner(id, DerivedHMACKey(id)), nil
 		}
 	}
 

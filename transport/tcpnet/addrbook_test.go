@@ -1,0 +1,137 @@
+package tcpnet
+
+import (
+	"strings"
+	"testing"
+
+	"fsnewtop/transport"
+)
+
+func TestLoadPeers(t *testing.T) {
+	b := NewAddrBook()
+	manifest := `[
+		{"addr": "node:m00", "endpoint": "127.0.0.1:7100"},
+		{"addr": "m00#L", "endpoint": "127.0.0.1:7100"},
+		{"addr": "node:m01", "endpoint": "10.9.8.7:7200"}
+	]`
+	n, err := b.LoadPeers(strings.NewReader(manifest))
+	if err != nil {
+		t.Fatalf("LoadPeers: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d entries, want 3", n)
+	}
+	for addr, want := range map[transport.Addr]string{
+		"node:m00": "127.0.0.1:7100",
+		"m00#L":    "127.0.0.1:7100",
+		"node:m01": "10.9.8.7:7200",
+	} {
+		got, ok := b.Lookup(addr)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %q, %v; want %q", addr, got, ok, want)
+		}
+	}
+}
+
+func TestLoadPeersMalformedJSON(t *testing.T) {
+	b := NewAddrBook()
+	if _, err := b.LoadPeers(strings.NewReader(`[{"addr": "node:m00", `)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := b.LoadPeers(strings.NewReader(`{"addr": "x"}`)); err == nil {
+		t.Fatal("non-array JSON accepted")
+	}
+	if _, err := b.LoadPeers(strings.NewReader(`[{"addr": "x", "endpoint": "h:1", "bogus": 1}]`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadPeersDuplicateAddr(t *testing.T) {
+	b := NewAddrBook()
+	manifest := `[
+		{"addr": "node:m00", "endpoint": "127.0.0.1:7100"},
+		{"addr": "node:m00", "endpoint": "127.0.0.1:7200"}
+	]`
+	_, err := b.LoadPeers(strings.NewReader(manifest))
+	if err == nil {
+		t.Fatal("duplicate addr accepted")
+	}
+	for _, want := range []string{"node:m00", "entry 1", "entry 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	// Validation precedes application: nothing was half-seeded.
+	if _, ok := b.Lookup("node:m00"); ok {
+		t.Error("bad manifest half-seeded the book")
+	}
+}
+
+func TestLoadPeersBadEndpoint(t *testing.T) {
+	for _, tc := range []struct{ name, endpoint string }{
+		{"no port", `127.0.0.1`},
+		{"empty", ``},
+		{"empty host", `:7100`},
+		{"bad port", `127.0.0.1:notaport`},
+	} {
+		b := NewAddrBook()
+		manifest := `[{"addr": "node:m00", "endpoint": "` + tc.endpoint + `"}]`
+		_, err := b.LoadPeers(strings.NewReader(manifest))
+		if err == nil {
+			t.Errorf("%s: endpoint %q accepted", tc.name, tc.endpoint)
+			continue
+		}
+		if !strings.Contains(err.Error(), "node:m00") {
+			t.Errorf("%s: error %q does not name the bad entry's addr", tc.name, err)
+		}
+	}
+}
+
+func TestLoadPeersEmptyAddr(t *testing.T) {
+	b := NewAddrBook()
+	_, err := b.LoadPeers(strings.NewReader(`[{"addr": "", "endpoint": "127.0.0.1:7100"}]`))
+	if err == nil {
+		t.Fatal("empty addr accepted")
+	}
+}
+
+func TestPeersFromEnv(t *testing.T) {
+	t.Setenv(PeersEnv, `[{"addr": "node:m00", "endpoint": "127.0.0.1:7100"}]`)
+	b := NewAddrBook()
+	n, err := b.PeersFromEnv()
+	if err != nil || n != 1 {
+		t.Fatalf("PeersFromEnv = %d, %v; want 1, nil", n, err)
+	}
+	if got, ok := b.Lookup("node:m00"); !ok || got != "127.0.0.1:7100" {
+		t.Fatalf("Lookup after env seed = %q, %v", got, ok)
+	}
+
+	t.Setenv(PeersEnv, "")
+	if n, err := b.PeersFromEnv(); n != 0 || err != nil {
+		t.Fatalf("empty env: got %d, %v; want 0, nil", n, err)
+	}
+
+	t.Setenv(PeersEnv, `[{"addr": "x", "endpoint": "nope"}]`)
+	if _, err := b.PeersFromEnv(); err == nil || !strings.Contains(err.Error(), PeersEnv) {
+		t.Fatalf("bad env manifest error %v does not name $%s", err, PeersEnv)
+	}
+}
+
+func TestMarshalPeersRoundTrip(t *testing.T) {
+	entries := []PeerEntry{
+		{Addr: "node:m00", Endpoint: "127.0.0.1:7100"},
+		{Addr: "m00#L", Endpoint: "127.0.0.1:7100"},
+	}
+	data, err := MarshalPeers(entries)
+	if err != nil {
+		t.Fatalf("MarshalPeers: %v", err)
+	}
+	b := NewAddrBook()
+	n, err := b.LoadPeers(strings.NewReader(string(data)))
+	if err != nil || n != 2 {
+		t.Fatalf("round trip: %d, %v", n, err)
+	}
+	if _, err := MarshalPeers([]PeerEntry{{Addr: "x", Endpoint: "bad"}}); err == nil {
+		t.Fatal("MarshalPeers accepted a bad endpoint")
+	}
+}

@@ -258,6 +258,12 @@ func New(cfg Config) (*Transport, error) {
 // Transport (the advertise address).
 func (t *Transport) Endpoint() string { return t.advertise }
 
+// Book returns the transport's address book, so a deployment can seed
+// remote endpoints after construction (e.g. AddrBook.LoadPeers on a
+// manifest learned later than New — the deploy plane's two-phase
+// bootstrap: listen first, learn the cluster's placement second).
+func (t *Transport) Book() *AddrBook { return t.book }
+
 // Register implements transport.Transport: it attaches the handler and
 // publishes addr → this process in the address book. Registering on a
 // closed transport is a no-op: publishing a dead listener into a shared
