@@ -97,6 +97,25 @@ type Options struct {
 	Transport string
 	// Seed seeds netsim randomness.
 	Seed int64
+	// Clock is the time source for everything the harness measures and
+	// paces: send intervals, latency stamps, throughput windows, the run
+	// timeout and the stall watchdog, plus every protocol timer in the
+	// deployed stacks. Nil selects the wall clock. Virtual builds one.
+	Clock clock.Clock
+	// Virtual runs the experiment on an auto-advancing clock.Virtual owned
+	// by the run: protocol time jumps event-to-event instead of sleeping,
+	// so simulated protocol-hours cost only the computation. Requires the
+	// netsim transport — virtual time cannot pace real sockets.
+	Virtual bool
+	// TickInterval paces each member's protocol machine (0 = 5ms).
+	// Accelerated soaks raise it: under virtual time the tick rate sets
+	// the advance count, not the wall duration.
+	TickInterval time.Duration
+	// OrderCheck records every member's delivery order and verifies
+	// delivery equivalence at the end of the run: all members must deliver
+	// the identical (origin, seq) sequence. The soak lanes turn it on; the
+	// mismatch, if any, lands in Result.OrderMismatch.
+	OrderCheck bool
 	// Timeout bounds the whole run.
 	Timeout time.Duration
 	// StallAfter is the round-progress watchdog window: a run that makes
@@ -159,6 +178,9 @@ func (o *Options) fillDefaults() {
 	if o.Transport == "" {
 		o.Transport = TransportNetsim
 	}
+	if o.TickInterval == 0 {
+		o.TickInterval = 5 * time.Millisecond
+	}
 	if o.StallAfter == 0 {
 		o.StallAfter = 2 * o.Delta
 		if o.StallAfter < 5*time.Second {
@@ -173,11 +195,11 @@ const (
 	TransportTCP    = "tcp"
 )
 
-// newTransport builds the substrate the options select.
-func newTransport(opts Options) (transport.Transport, error) {
+// newTransport builds the substrate the options select, driven by clk.
+func newTransport(opts Options, clk clock.Clock) (transport.Transport, error) {
 	switch opts.Transport {
 	case TransportNetsim:
-		return netsim.New(clock.NewReal(),
+		return netsim.New(clk,
 			netsim.WithSeed(opts.Seed),
 			netsim.WithDefaultProfile(transport.Profile{
 				Latency:        transport.Fixed(opts.NetLatency),
@@ -203,10 +225,20 @@ type Result struct {
 	Latency metrics.Summary
 	// Throughput is ordered messages per second observed at a member
 	// (total ordered messages / time to order them), averaged over
-	// members — the Fig7/Fig8 y-axis.
+	// members — the Fig7/Fig8 y-axis. Time is the run clock's: under
+	// Options.Virtual this is msgs per *protocol* second.
 	Throughput float64
-	// Elapsed is the full-run wall time.
+	// Virtual records whether the run used an auto-advancing clock.
+	Virtual bool
+	// Elapsed is the full-run time on the run's clock: wall time normally,
+	// simulated protocol time under Options.Virtual.
 	Elapsed time.Duration
+	// WallElapsed is always real wall time; Elapsed/WallElapsed is the
+	// virtual run's speedup.
+	WallElapsed time.Duration
+	// OrderMismatch describes the first delivery-equivalence violation
+	// found (Options.OrderCheck); empty when the oracle is green or off.
+	OrderMismatch string
 	// Delivered counts total deliveries across members; Expected is
 	// Members² × MsgsPerMember.
 	Delivered, Expected int
@@ -254,12 +286,40 @@ type member struct {
 	sendTime map[int]time.Time
 	count    int
 	doneAt   time.Time
+	order    []orderEntry // delivery log, kept when Options.OrderCheck
+}
+
+// orderEntry is one delivery in a member's order log.
+type orderEntry struct {
+	origin string
+	seq    int
 }
 
 // Run executes one experiment.
 func Run(opts Options) (Result, error) {
 	opts.fillDefaults()
-	net, err := newTransport(opts)
+	clk := opts.Clock
+	var vt *clock.Virtual
+	if opts.Virtual {
+		if opts.Transport != TransportNetsim {
+			return Result{}, fmt.Errorf("bench: Virtual requires Transport %q: virtual time cannot pace real sockets (got %q)",
+				TransportNetsim, opts.Transport)
+		}
+		if v, ok := clk.(*clock.Virtual); ok {
+			vt = v
+		} else if clk == nil {
+			vt = clock.NewVirtual()
+			defer vt.Stop()
+			clk = vt
+		} else {
+			return Result{}, fmt.Errorf("bench: Virtual set but Clock is not a *clock.Virtual")
+		}
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	wall := clock.NewReal()
+	net, err := newTransport(opts, clk)
 	if err != nil {
 		return Result{}, err
 	}
@@ -267,7 +327,15 @@ func Run(opts Options) (Result, error) {
 
 	reg := trace.NewRegistry(0, nil)
 	activeTrace.Store(reg)
-	members, fab, err := buildCluster(opts, net, reg)
+	if vt != nil {
+		// Hold the advance gate across bring-up, so a half-built pair never
+		// watches virtual time leap past its comparison deadline.
+		vt.Busy()
+	}
+	members, fab, err := buildCluster(opts, net, reg, clk)
+	if vt != nil {
+		vt.Done()
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -309,17 +377,20 @@ func Run(opts Options) (Result, error) {
 				case d := <-m.svc.Deliveries():
 					m.mu.Lock()
 					m.count++
+					if opts.OrderCheck {
+						m.order = append(m.order, orderEntry{origin: d.Origin, seq: decodeSeq(d.Payload)})
+					}
 					if d.Origin == m.name {
 						if seq := decodeSeq(d.Payload); seq >= 0 {
 							if t0, ok := m.sendTime[seq]; ok {
-								lat.Record(time.Since(t0))
+								lat.Record(clk.Since(t0))
 								delete(m.sendTime, seq)
 							}
 						}
 					}
 					if !finished && m.count >= expectedPerMember {
 						finished = true
-						m.doneAt = time.Now()
+						m.doneAt = clk.Now()
 						remaining.Done()
 					}
 					m.mu.Unlock()
@@ -335,24 +406,23 @@ func Run(opts Options) (Result, error) {
 
 	// Workload: each member multicasts MsgsPerMember messages at the
 	// configured regular interval (Section 4's experiment shape).
-	start := time.Now()
+	start := clk.Now()
+	wallStart := wall.Now()
 	var wgSend sync.WaitGroup
 	for _, m := range members {
 		m := m
 		wgSend.Add(1)
 		go func() {
 			defer wgSend.Done()
-			ticker := time.NewTicker(opts.SendInterval)
-			defer ticker.Stop()
 			for seq := 1; seq <= opts.MsgsPerMember; seq++ {
 				payload := encodeSeq(seq, opts.MsgSize)
 				m.mu.Lock()
-				m.sendTime[seq] = time.Now()
+				m.sendTime[seq] = clk.Now()
 				m.mu.Unlock()
 				if err := m.svc.Multicast("bench", group.TotalSym, payload); err != nil {
 					return
 				}
-				<-ticker.C
+				<-clk.After(opts.SendInterval)
 			}
 		}()
 	}
@@ -375,7 +445,7 @@ func Run(opts Options) (Result, error) {
 			}
 			return total
 		}
-		go stallMonitor(progress, opts.StallAfter, stopStall, stalled)
+		go stallMonitor(clk, progress, opts.StallAfter, stopStall, stalled)
 	}
 
 	timedOut := false
@@ -406,10 +476,10 @@ func Run(opts Options) (Result, error) {
 				stallErr.DumpPath = path
 			}
 		}
-	case <-time.After(opts.Timeout):
+	case <-clk.After(opts.Timeout):
 		timedOut = true
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 	close(stopRecv)
 	wgRecv.Wait()
 
@@ -420,8 +490,13 @@ func Run(opts Options) (Result, error) {
 		MsgSize:       opts.MsgSize,
 		MsgsPerMember: opts.MsgsPerMember,
 		Latency:       lat.Snapshot(),
+		Virtual:       vt != nil,
 		Elapsed:       elapsed,
+		WallElapsed:   wall.Since(wallStart),
 		Expected:      opts.Members * expectedPerMember,
+	}
+	if opts.OrderCheck {
+		res.OrderMismatch = checkOrder(members)
 	}
 	var tput float64
 	counted := 0
@@ -464,9 +539,33 @@ func Run(opts Options) (Result, error) {
 	return res, nil
 }
 
+// checkOrder verifies delivery equivalence across the members' recorded
+// logs: every member must have delivered the identical (origin, seq)
+// sequence. It returns a description of the first divergence, or "".
+func checkOrder(members []*member) string {
+	if len(members) < 2 {
+		return ""
+	}
+	ref := members[0]
+	for _, m := range members[1:] {
+		n := len(ref.order)
+		if len(m.order) < n {
+			n = len(m.order)
+		}
+		for i := 0; i < n; i++ {
+			if ref.order[i] != m.order[i] {
+				return fmt.Sprintf("delivery order diverges at index %d: %s saw %s#%d, %s saw %s#%d",
+					i, ref.name, ref.order[i].origin, ref.order[i].seq,
+					m.name, m.order[i].origin, m.order[i].seq)
+			}
+		}
+	}
+	return ""
+}
+
 // buildCluster deploys the middleware under test. The returned fabric is
 // non-nil only for FS-NewTOP, whose crypto-plane counters Run reports.
-func buildCluster(opts Options, net transport.Transport, reg *trace.Registry) ([]*member, *fsnewtop.Fabric, error) {
+func buildCluster(opts Options, net transport.Transport, reg *trace.Registry, clk clock.Clock) ([]*member, *fsnewtop.Fabric, error) {
 	names := make([]string, opts.Members)
 	for i := range names {
 		names[i] = fmt.Sprintf("m%02d", i)
@@ -482,11 +581,11 @@ func buildCluster(opts Options, net transport.Transport, reg *trace.Registry) ([
 				Name:         name,
 				Net:          net,
 				Naming:       naming,
-				Clock:        clock.NewReal(),
+				Clock:        clk,
 				Trace:        reg,
 				PoolSize:     opts.PoolSize,
 				ServiceTime:  opts.ServiceTime,
-				TickInterval: 5 * time.Millisecond,
+				TickInterval: opts.TickInterval,
 				GC: group.Config{
 					// Failure-free runs: keep suspicion far away, exactly
 					// as the paper arranged ("false failure suspicions in
@@ -502,7 +601,7 @@ func buildCluster(opts Options, net transport.Transport, reg *trace.Registry) ([
 		}
 
 	case SystemFSNewTOP:
-		fab = fsnewtop.NewFabric(net, clock.NewReal())
+		fab = fsnewtop.NewFabric(net, clk)
 		fab.Trace = reg
 		if opts.RSA {
 			fab.NewSigner = func(id sig.ID) (sig.Signer, error) {
@@ -525,7 +624,7 @@ func buildCluster(opts Options, net transport.Transport, reg *trace.Registry) ([
 				Fabric:       fab,
 				Peers:        peers,
 				Delta:        opts.Delta,
-				TickInterval: 5 * time.Millisecond,
+				TickInterval: opts.TickInterval,
 				SyncLink:     lan,
 				PoolSize:     opts.PoolSize,
 				GC: group.Config{

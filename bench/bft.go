@@ -103,18 +103,19 @@ func RunBFT(opts BFTOptions) (BFTResult, error) {
 	client := bftbase.NewClient("bench-client", opts.F, names, net, clientSigner, clock.NewReal())
 
 	var lat metrics.Histogram
-	start := time.Now()
+	clk := clock.NewReal()
+	start := clk.Now()
 	for i := 0; i < opts.Requests; i++ {
-		t0 := time.Now()
+		t0 := clk.Now()
 		if _, err := client.Submit([]byte(fmt.Sprintf("req%d", i)), opts.Timeout); err != nil {
 			return BFTResult{}, err
 		}
-		lat.Record(time.Since(t0))
+		lat.Record(clk.Since(t0))
 		if opts.Interval > 0 {
-			time.Sleep(opts.Interval)
+			<-clk.After(opts.Interval)
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 	stats := net.Stats()
 	return BFTResult{
 		F:                  opts.F,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fsnewtop/internal/chaos"
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/trace"
 )
 
@@ -40,6 +41,43 @@ type ChaosOptions struct {
 	// replaced by a fresh pair admitted via state transfer. Needs at least
 	// 5 members.
 	Churn bool
+	// Virtual runs the schedule on an auto-advancing virtual clock: the
+	// whole run — fault offsets, pair deadlines, oracle bounds, probe
+	// timeouts — plays out in simulated time, costing wall time only for
+	// computation. Requires TransportNetsim (chaos refuses anything else
+	// regardless).
+	Virtual bool
+	// Skew additionally schedules clock-skew faults (per-member forward
+	// steps ≤ δ/10 and rate errors ≤ ±500ppm that correct pairs must ride
+	// out). Requires Virtual: skew only exists on the virtual timeline.
+	Skew bool
+}
+
+// toChaos converts to the internal options, building the virtual clock
+// when asked. The returned stop func is non-nil when a clock was built and
+// must be called after the run.
+func (o ChaosOptions) toChaos(reg *trace.Registry) (chaos.Options, func(), error) {
+	co := chaos.Options{
+		Seed:      o.Seed,
+		Members:   o.Members,
+		Duration:  o.Duration,
+		Delta:     o.Delta,
+		Transport: o.Transport,
+		TraceDir:  o.TraceDir,
+		Out:       o.Out,
+		Trace:     reg,
+		Churn:     o.Churn,
+		Skew:      o.Skew,
+	}
+	if o.Skew && !o.Virtual {
+		return co, nil, fmt.Errorf("bench: chaos Skew faults need Virtual: clock skew only exists on the virtual timeline")
+	}
+	if !o.Virtual {
+		return co, nil, nil
+	}
+	v := clock.NewVirtual()
+	co.Clock = v
+	return co, v.Stop, nil
 }
 
 // ChaosViolation is one oracle failure.
@@ -90,7 +128,12 @@ type ChaosReport struct {
 	Replacements []string
 	Heals        []ChaosHeal
 	Window       time.Duration
-	Elapsed      time.Duration
+	// Elapsed is run-clock time — simulated time under Virtual.
+	Elapsed time.Duration
+	// Virtual reports the run played out on a virtual clock; WallElapsed
+	// is then the real time it cost.
+	Virtual     bool
+	WallElapsed time.Duration
 }
 
 // RunChaos executes one seeded chaos schedule. Like Run, it parks the
@@ -100,17 +143,16 @@ type ChaosReport struct {
 func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 	reg := trace.NewRegistry(0, nil)
 	activeTrace.Store(reg)
-	rep, err := chaos.Run(chaos.Options{
-		Seed:      opts.Seed,
-		Members:   opts.Members,
-		Duration:  opts.Duration,
-		Delta:     opts.Delta,
-		Transport: opts.Transport,
-		TraceDir:  opts.TraceDir,
-		Out:       opts.Out,
-		Trace:     reg,
-		Churn:     opts.Churn,
-	})
+	co, stop, err := opts.toChaos(reg)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	if stop != nil {
+		defer stop()
+	}
+	wall := clock.NewReal()
+	wallStart := wall.Now()
+	rep, err := chaos.Run(co)
 	if err != nil {
 		return ChaosReport{}, err
 	}
@@ -125,6 +167,8 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 		Replacements: append([]string(nil), rep.Replacements...),
 		Window:       rep.Window,
 		Elapsed:      rep.Elapsed,
+		Virtual:      opts.Virtual,
+		WallElapsed:  wall.Since(wallStart),
 	}
 	for _, h := range rep.Heals {
 		out.Heals = append(out.Heals, ChaosHeal{
@@ -146,11 +190,34 @@ func RunChaos(opts ChaosOptions) (ChaosReport, error) {
 	return out, nil
 }
 
+// MinimizeChaos shrinks a red seed's schedule to its minimal violating
+// prefix (see chaos.Minimize) and returns the shrink result alongside its
+// rendered report. Harness errors — including a seed that turns out to
+// pass — come back as the error.
+func MinimizeChaos(opts ChaosOptions) (string, error) {
+	co, stop, err := opts.toChaos(nil)
+	if err != nil {
+		return "", err
+	}
+	if stop != nil {
+		defer stop()
+	}
+	res, err := chaos.Minimize(co)
+	if err != nil {
+		return "", err
+	}
+	return chaos.FormatShrink(res), nil
+}
+
 // FormatChaos renders one chaos report for terminals.
 func FormatChaos(r ChaosReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos seed %d: %s (delivered>=%d sent=%d, %v)\n",
-		r.Seed, r.Verdict, r.Delivered, r.Sent, r.Elapsed.Round(time.Millisecond))
+	clockLabel := ""
+	if r.Virtual {
+		clockLabel = fmt.Sprintf(" simulated, %v wall", r.WallElapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "chaos seed %d: %s (delivered>=%d sent=%d, %v%s)\n",
+		r.Seed, r.Verdict, r.Delivered, r.Sent, r.Elapsed.Round(time.Millisecond), clockLabel)
 	for _, c := range r.Conversions {
 		verdictMark := "converted"
 		switch {

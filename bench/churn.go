@@ -33,6 +33,9 @@ type ChurnOptions struct {
 	TraceDir string
 	// Out, when non-nil, receives per-seed progress lines.
 	Out io.Writer
+	// Virtual runs every seed on its own auto-advancing virtual clock;
+	// remediation timelines and availability are then simulated time.
+	Virtual bool
 }
 
 // ChurnReport aggregates a churn sweep.
@@ -74,6 +77,7 @@ func RunChurn(opts ChurnOptions) (ChurnReport, error) {
 			TraceDir:  opts.TraceDir,
 			Out:       opts.Out,
 			Churn:     true,
+			Virtual:   opts.Virtual,
 		})
 		if err != nil {
 			return out, err

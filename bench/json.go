@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"fsnewtop/internal/clock"
 )
 
 // SeriesPoint is one sweep point of one system in machine-readable form.
@@ -77,7 +79,7 @@ func toPoint(x int, r Result, errStr string) SeriesPoint {
 // sweep must never label itself netsim. An empty substrate falls back to
 // the first measured row's Result.Transport, then TransportNetsim.
 func ToSeries(figure, xAxis, substrate string, rows []Row) Series {
-	s := Series{Figure: figure, XAxis: xAxis, Transport: substrate, Generated: time.Now().UTC()}
+	s := Series{Figure: figure, XAxis: xAxis, Transport: substrate, Generated: clock.NewReal().Now().UTC()}
 scan:
 	for _, r := range rows {
 		if s.Transport != "" {

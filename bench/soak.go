@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"fsnewtop/internal/clock"
 )
 
 // SoakResult augments a large-group run with scheduler health numbers:
@@ -32,6 +34,9 @@ func RunSoak(opts Options) (SoakResult, error) {
 		opts.SendInterval = 4 * time.Millisecond
 	}
 
+	// Goroutine sampling is about this process's scheduler, not protocol
+	// time: it stays on the wall clock even when the run itself is virtual.
+	wall := clock.NewReal()
 	sr := SoakResult{GoroutinesBefore: runtime.NumGoroutine()}
 	sr.GoroutinesPeak = sr.GoroutinesBefore
 	stop := make(chan struct{})
@@ -42,7 +47,7 @@ func RunSoak(opts Options) (SoakResult, error) {
 			select {
 			case <-stop:
 				return
-			case <-time.After(time.Millisecond):
+			case <-wall.After(time.Millisecond):
 				if g := runtime.NumGoroutine(); g > sr.GoroutinesPeak {
 					sr.GoroutinesPeak = g
 				}
@@ -55,7 +60,7 @@ func RunSoak(opts Options) (SoakResult, error) {
 	<-sampled
 	sr.Result = res
 	// Services shut down asynchronously; give their goroutines a beat.
-	time.Sleep(50 * time.Millisecond)
+	<-wall.After(50 * time.Millisecond)
 	sr.GoroutinesAfter = runtime.NumGoroutine()
 	return sr, err
 }

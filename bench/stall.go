@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsnewtop/internal/clock"
 	"fsnewtop/internal/trace"
 )
 
@@ -82,26 +83,28 @@ func DumpTrace(dir, label string) (string, error) {
 }
 
 // stallMonitor watches a run's aggregate delivery count and reports on
-// stalled when it stops moving for quiet. progress must be monotonic.
-func stallMonitor(progress func() int, quiet time.Duration, stop <-chan struct{}, stalled chan<- struct{}) {
+// stalled when it stops moving for quiet, on the run's clock — under a
+// virtual clock the watchdog window is protocol time, so an accelerated
+// soak still detects wedges. progress must be monotonic.
+func stallMonitor(clk clock.Clock, progress func() int, quiet time.Duration, stop <-chan struct{}, stalled chan<- struct{}) {
 	interval := quiet / 20
 	if interval < time.Millisecond {
-		interval = time.Millisecond // NewTicker panics at 0; sub-ms polls buy nothing
+		interval = time.Millisecond // sub-ms polls buy nothing
 	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 	last := progress()
-	lastMove := time.Now()
+	lastMove := clk.Now()
 	for {
+		t := clk.NewTimer(interval)
 		select {
 		case <-stop:
+			t.Stop()
 			return
-		case <-tick.C:
+		case <-t.C():
 			if n := progress(); n != last {
-				last, lastMove = n, time.Now()
+				last, lastMove = n, clk.Now()
 				continue
 			}
-			if time.Since(lastMove) >= quiet {
+			if clk.Since(lastMove) >= quiet {
 				close(stalled)
 				return
 			}

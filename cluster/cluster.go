@@ -92,6 +92,7 @@ type config struct {
 	tr           transport.Transport
 	members      []string
 	clk          clock.Clock
+	virtual      *clock.Virtual
 	rsa          bool
 	crash        bool
 	delta        time.Duration
@@ -144,6 +145,18 @@ func WithDelta(d time.Duration) Option {
 // WithClock substitutes the time source (tests).
 func WithClock(clk clock.Clock) Option {
 	return func(c *config) { c.clk = clk }
+}
+
+// WithVirtualTime runs the whole cluster on an auto-advancing virtual
+// clock (clock.Virtual): every member's middleware stack takes time from
+// its own per-member clock.Skewed view of v's one timeline, so simulated
+// protocol-hours cost only the protocol's own computation, and the chaos
+// plane's clock-skew faults can step or drift a single member through
+// SkewMember. Requires the simulated transport: virtual time cannot pace
+// real sockets. Member construction holds v's busy gate, so bring-up is
+// never raced by an advancing clock.
+func WithVirtualTime(v *clock.Virtual) Option {
+	return func(c *config) { c.clk, c.virtual = v, v }
 }
 
 // WithPoolSize sets each member's ORB request pool (0 = the paper's 10).
@@ -304,6 +317,9 @@ type Cluster struct {
 	mu      sync.RWMutex
 	names   []string // current live roster, in admission order
 	members map[string]*Member
+	// skews holds each member's private clock view (WithVirtualTime):
+	// the handle the chaos plane's skew faults act on.
+	skews map[string]*clock.Skewed
 	// switches is the armed fault plane (WithFaultPlan): per member, the
 	// inert faults.Switch wrapped around each pair half's GC machine.
 	switches map[string]map[Half]*faults.Switch
@@ -354,6 +370,18 @@ func New(opts ...Option) (*Cluster, error) {
 	if cfg.healEvery == 0 {
 		cfg.healEvery = 50 * time.Millisecond
 	}
+	if cfg.virtual != nil {
+		if cfg.tr != nil {
+			if _, ok := cfg.tr.(*netsim.Network); !ok {
+				return nil, fmt.Errorf("cluster: WithVirtualTime requires the simulated transport (netsim); a real transport cannot follow a virtual clock")
+			}
+		}
+		// Hold the advance gate across bring-up: a pair whose partner half
+		// is still being constructed must not watch virtual time leap past
+		// its 2δ comparison deadline.
+		cfg.virtual.Busy()
+		defer cfg.virtual.Done()
+	}
 
 	c := &Cluster{
 		tr:            cfg.tr,
@@ -366,6 +394,7 @@ func New(opts ...Option) (*Cluster, error) {
 		crashSuspects: make(map[string]bool),
 		seenInView:    make(map[string]map[string]bool),
 		maxView:       make(map[string]uint64),
+		skews:         make(map[string]*clock.Skewed),
 	}
 	if c.tr == nil {
 		c.tr = netsim.New(cfg.clk, netsim.WithDefaultProfile(transport.Profile{
@@ -426,12 +455,22 @@ func (c *Cluster) buildMember(name string, peers []string) (*Member, error) {
 	if c.cfg.autoHeal && c.crash {
 		onView = c.noteView
 	}
+	// Under virtual time, each member runs on its own skewed view of the
+	// one shared timeline (unskewed until a chaos action says otherwise).
+	mclk := c.cfg.clk
+	if c.cfg.virtual != nil {
+		sk := clock.NewSkewed(c.cfg.virtual)
+		mclk = sk
+		c.mu.Lock()
+		c.skews[name] = sk
+		c.mu.Unlock()
+	}
 	if c.crash {
 		svc, err := newtop.New(newtop.Config{
 			Name:         name,
 			Net:          c.tr,
 			Naming:       c.naming,
-			Clock:        c.cfg.clk,
+			Clock:        mclk,
 			Trace:        c.cfg.traceReg,
 			PoolSize:     c.cfg.poolSize,
 			TickInterval: c.cfg.tickInterval,
@@ -465,6 +504,7 @@ func (c *Cluster) buildMember(name string, peers []string) (*Member, error) {
 		Name:         name,
 		Fabric:       c.fab,
 		Peers:        peers,
+		Clock:        mclk,
 		Delta:        c.cfg.delta,
 		TickInterval: c.cfg.tickInterval,
 		PoolSize:     c.cfg.poolSize,
@@ -547,7 +587,14 @@ func (c *Cluster) AddMember(name string, groups ...string) (*Member, error) {
 	peers := append([]string(nil), c.names...)
 	c.mu.Unlock()
 
+	if c.cfg.virtual != nil {
+		// Same bring-up protection as New: no time leaps mid-construction.
+		c.cfg.virtual.Busy()
+	}
 	m, err := c.buildMember(name, peers)
+	if c.cfg.virtual != nil {
+		c.cfg.virtual.Done()
+	}
 	if err != nil {
 		c.mu.Lock()
 		delete(c.members, name)
@@ -849,6 +896,16 @@ func (c *Cluster) PairFailed(name string) bool {
 		return m.nso.Pair().Failed()
 	}
 	return false
+}
+
+// SkewMember returns the named member's private clock view, on which the
+// chaos plane's clock-skew faults act (Step jumps it, SetDrift changes its
+// rate). Nil unless the cluster runs under WithVirtualTime and the member
+// exists. Replaced members' replacements get fresh, unskewed clocks.
+func (c *Cluster) SkewMember(name string) *clock.Skewed {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.skews[name]
 }
 
 // CanInjectFaults reports whether the cluster's transport supports link

@@ -1,0 +1,81 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"fsnewtop/cluster"
+	"fsnewtop/internal/clock"
+	"fsnewtop/transport/tcpnet"
+)
+
+// TestClusterVirtualTime runs the canonical total-order workload with the
+// whole stack — pairs, GC machines, ORBs, netsim — on an auto-advancing
+// virtual clock: identical behaviour, near-zero wall time regardless of δ.
+func TestClusterVirtualTime(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	start := time.Now()
+	c, err := cluster.New(
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithVirtualTime(v),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	runTotalOrder(t, c)
+	if v.Elapsed() <= 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+	t.Logf("virtual elapsed %v in %v wall (%d advances)", v.Elapsed(), time.Since(start), v.Advances())
+}
+
+// TestClusterVirtualTimeSkewedMemberStaysGreen injects a bounded clock
+// skew — a step plus a steady drift on one member, well inside δ — and
+// requires the workload to stay fail-silent: bounded skew is an
+// environment condition, not a fault the pair may convert.
+func TestClusterVirtualTimeSkewedMemberStaysGreen(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	c, err := cluster.New(
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithVirtualTime(v),
+		cluster.WithDelta(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sk := c.SkewMember("bob")
+	if sk == nil {
+		t.Fatal("SkewMember returned nil under WithVirtualTime")
+	}
+	sk.Step(2 * time.Millisecond)
+	sk.SetDrift(500e-6) // 500 ppm fast
+	runTotalOrder(t, c)
+	for _, name := range c.Names() {
+		if c.PairFailed(name) {
+			t.Fatalf("bounded skew caused a fail-signal on %s", name)
+		}
+	}
+}
+
+// TestClusterVirtualTimeRefusesRealTransport: virtual time cannot pace
+// real sockets, and the builder must say so by name rather than wedge.
+func TestClusterVirtualTimeRefusesRealTransport(t *testing.T) {
+	tr, err := tcpnet.New(tcpnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	v := clock.NewVirtual()
+	defer v.Stop()
+	if _, err := cluster.New(
+		cluster.WithMembers("alice", "bob"),
+		cluster.WithTransport(tr),
+		cluster.WithVirtualTime(v),
+	); err == nil {
+		t.Fatal("WithVirtualTime over tcpnet must refuse")
+	}
+}

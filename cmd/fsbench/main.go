@@ -6,10 +6,23 @@
 //	fsbench -exp fig8 -procs 10  # same sweep, one OS process per member
 //	fsbench -worker              # internal: deploy-plane worker process
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
+//	fsbench -exp soak -virtual   # time-accelerated soak: simulated protocol-hours in wall seconds
 //	fsbench -exp wedge           # repeated FS/tcp wedge repro (fig8 shape)
 //	fsbench -exp chaos -seed 7   # seeded fault-schedule fuzz run (oracles)
+//	fsbench -exp chaos -virtual  # same oracles on the virtual timeline; red seeds auto-shrink
 //	fsbench -exp churn -seed 7   # sustained-churn sweep (auto-heal, recovery percentiles)
 //	fsbench -exp all -msgs 1000  # the paper's full message count
+//
+// -virtual moves a lane onto the auto-advancing virtual clock: whenever
+// every goroutine is parked on a timer or a simulated delivery, the clock
+// jumps straight to the next deadline, so a simulated protocol-hour costs
+// only the wall time of the computation in it. It requires the netsim
+// substrate (and refuses -procs: quiescence detection cannot span OS
+// processes). Under -virtual the chaos lane accepts -skew, which adds
+// clock-skew faults — bounded per-member steps and rate errors that
+// correct pairs must ride out — and every red seed is automatically
+// shrunk to its minimal violating schedule prefix. -sim-hours sets the
+// accelerated soak's span of simulated protocol time.
 //
 // The chaos lane expands -seed into a deterministic fault schedule
 // (partitions, crash churn, link shaping, value faults on one half of a
@@ -80,6 +93,9 @@ func main() {
 		churn     = flag.Bool("churn", false, "arm restart churn in -exp chaos (auto-heal + guaranteed crash + replacement oracles)")
 		procs     = flag.Int("procs", 0, "run -exp fig8 with this many worker OS processes, one member each (FS-NewTOP over real TCP)")
 		worker    = flag.Bool("worker", false, "internal: run as a deploy-plane worker, driven over stdin/stdout by a controller")
+		virtual   = flag.Bool("virtual", false, "run soak/chaos/churn on the auto-advancing virtual clock (netsim only): simulated protocol time, wall cost = computation only")
+		simHours  = flag.Float64("sim-hours", 1, "simulated protocol-hours for -exp soak -virtual")
+		skew      = flag.Bool("skew", false, "schedule clock-skew faults (per-member steps and drift) in -exp chaos; needs -virtual")
 	)
 	flag.Parse()
 
@@ -121,6 +137,25 @@ func main() {
 		})
 		if explicitTransport {
 			fail("-procs chooses its own substrate (%s: real TCP across OS processes); drop -transport", bench.TransportTCPProcs)
+		}
+	}
+
+	// Virtual time only exists where the harness owns every event source.
+	// Refuse the impossible combinations by name instead of letting a
+	// "60x accelerated" run silently pace itself on wall-clock sockets.
+	if *virtual || *skew {
+		fail := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			os.Exit(2)
+		}
+		if *skew && !*virtual {
+			fail("-skew schedules clock-skew faults, which only exist on the virtual timeline; add -virtual")
+		}
+		if *procs != 0 {
+			fail("-virtual is incompatible with -procs %d: the virtual clock advances by detecting quiescence among this process's goroutines and cannot gate workers in other OS processes", *procs)
+		}
+		if *trans == bench.TransportTCP {
+			fail("-virtual requires -transport %s (got -transport %s): virtual time cannot pace real sockets — kernel delivery happens in wall time, which the virtual clock would leap past", bench.TransportNetsim, *trans)
 		}
 	}
 
@@ -184,6 +219,33 @@ func main() {
 	}
 
 	runSoak := func() {
+		if *virtual {
+			// The accelerated soak has its own shape: covered protocol time
+			// is the knob (-sim-hours), not message density, and the group
+			// defaults small — the lane exists to stretch the timeline, the
+			// 40-member scheduler soak above already stretches the group. An
+			// explicit -soak-members still wins.
+			opts := bench.Options{
+				System:      bench.SystemFSNewTOP,
+				Seed:        *seed,
+				PoolSize:    *pool,
+				RSA:         *rsa,
+				Transport:   *trans,
+				TraceDir:    *traceDir,
+				NoStallDump: !*stallDump,
+			}
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "soak-members" {
+					opts.Members = *soakSize
+				}
+			})
+			vr, err := bench.RunVirtualSoak(opts, *simHours)
+			fmt.Print(bench.FormatVirtualSoak(vr, err))
+			if err != nil {
+				os.Exit(1)
+			}
+			return
+		}
 		for _, sys := range []bench.System{bench.SystemNewTOP, bench.SystemFSNewTOP} {
 			opts := base
 			opts.System = sys
@@ -247,6 +309,8 @@ func main() {
 				Transport: *trans,
 				TraceDir:  *traceDir,
 				Churn:     *churn,
+				Virtual:   *virtual,
+				Skew:      *skew,
 			}
 			rep, err := bench.RunChaos(opts)
 			if err != nil {
@@ -264,6 +328,15 @@ func main() {
 				fmt.Printf("chaos seed %d replay: %s (schedule identical: %v, verdict identical: %v)\n",
 					opts.Seed, replay.Verdict,
 					replay.Schedule == rep.Schedule, replay.Verdict == rep.Verdict)
+				if *virtual {
+					// Virtual trials are cheap enough to shrink every red seed
+					// to its minimal violating prefix on the spot.
+					if shrink, err := bench.MinimizeChaos(opts); err != nil {
+						fmt.Fprintf(os.Stderr, "chaos shrink of seed %d: %v\n", opts.Seed, err)
+					} else {
+						fmt.Print(shrink)
+					}
+				}
 			}
 		}
 		if *chaosRuns > 1 {
@@ -292,6 +365,7 @@ func main() {
 			Duration:  dur,
 			Transport: *trans,
 			TraceDir:  *traceDir,
+			Virtual:   *virtual,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "churn sweep: %v\n", err)
@@ -372,6 +446,9 @@ func main() {
 	banner := *trans
 	if *procs != 0 {
 		banner = fmt.Sprintf("%s procs=%d", bench.TransportTCPProcs, *procs)
+	}
+	if *virtual {
+		banner += " virtual"
 	}
 	fmt.Printf("# fsbench: msgs/member=%d interval=%v pool=%d rsa=%v transport=%s\n\n", *msgs, *interval, *pool, *rsa, banner)
 	if *exp == "all" {

@@ -69,6 +69,17 @@ type Options struct {
 	// restored after every kill. Needs at least 5 members (a fault budget
 	// of two: the headline value fault plus the churn crash).
 	Churn bool
+	// Skew additionally schedules clock-skew faults: per-member forward
+	// steps (≤ δ/10) and rate errors (≤ ±500ppm) that a correct pair must
+	// ride out without fail-signalling. Requires Clock to be a
+	// *clock.Virtual — skew is applied through the per-member clock.Skewed
+	// layer the cluster only builds on the virtual timeline.
+	Skew bool
+	// Schedule, when non-nil, replays this exact schedule instead of
+	// generating one from Seed: the replay path for shrunk schedules
+	// (Minimize) and hand-built regression scenarios. Members, Duration and
+	// Churn are taken from the schedule; Seed still drives the netsim.
+	Schedule *Schedule
 }
 
 // withDefaults fills the zero values in.
@@ -293,13 +304,40 @@ func Run(opts Options) (*Report, error) {
 				"so partitions and link shaping would silently no-op and every oracle would pass vacuously; "+
 				"run chaos on -transport netsim", opts.Transport)
 	}
+	clk := opts.Clock
+	vt, _ := clk.(*clock.Virtual)
+	if opts.Skew && vt == nil {
+		return nil, fmt.Errorf(
+			"chaos: Skew schedules clock-skew faults, which only exist on the virtual timeline: " +
+				"per-member skew is applied through the clock.Skewed layer the cluster builds under WithVirtualTime; " +
+				"pass Options.Clock = clock.NewVirtual() (fsbench: -virtual)")
+	}
+
+	// Resolve the schedule: a replayed override, or the seed's generated one.
+	var sched Schedule
+	var members []string
+	if opts.Schedule != nil {
+		sched = *opts.Schedule
+		members = append([]string(nil), sched.Members...)
+		opts.Members = len(members)
+		opts.Duration = sched.Duration
+		opts.Churn = sched.Churn
+	} else {
+		members = make([]string, opts.Members)
+		for i := range members {
+			members[i] = fmt.Sprintf("m%d", i)
+		}
+		sched = Generate(GenConfig{Seed: opts.Seed, Members: members, Duration: opts.Duration, Churn: opts.Churn, Skew: opts.Skew, Delta: opts.Delta})
+	}
 	if opts.Members < 4 {
 		return nil, fmt.Errorf("chaos: need at least 4 members (got %d): the fault budget ⌊(n−1)/2⌋ must leave a correct majority", opts.Members)
 	}
 	if opts.Churn && opts.Members < 5 {
 		return nil, fmt.Errorf("chaos: restart churn needs at least 5 members (got %d): the fault budget must cover the headline value fault plus one churn crash", opts.Members)
 	}
-	clk := opts.Clock
+	if sched.HasSkew() && vt == nil {
+		return nil, fmt.Errorf("chaos: schedule contains clock-skew actions but the run's clock is not virtual; skew replays need Options.Clock = clock.NewVirtual()")
+	}
 	start := clk.Now()
 	logf := func(format string, args ...any) {
 		if opts.Out != nil {
@@ -307,11 +345,6 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
-	members := make([]string, opts.Members)
-	for i := range members {
-		members[i] = fmt.Sprintf("m%d", i)
-	}
-	sched := Generate(GenConfig{Seed: opts.Seed, Members: members, Duration: opts.Duration, Churn: opts.Churn})
 	rep := &Report{Schedule: sched}
 	logf("seed %d schedule:\n%s", opts.Seed, strings.TrimRight(sched.String(), "\n"))
 
@@ -326,10 +359,17 @@ func Run(opts Options) (*Report, error) {
 	}))
 	defer net.Close()
 
+	clockOpt := cluster.WithClock(clk)
+	if vt != nil {
+		// The virtual option additionally builds the per-member skew layer
+		// (cluster.SkewMember) and holds the auto-advance gate through
+		// member bring-up.
+		clockOpt = cluster.WithVirtualTime(vt)
+	}
 	clusterOpts := []cluster.Option{
 		cluster.WithTransport(net),
 		cluster.WithMembers(members...),
-		cluster.WithClock(clk),
+		clockOpt,
 		cluster.WithDelta(opts.Delta),
 		cluster.WithFaultPlan(),
 		cluster.WithTrace(reg),
@@ -548,6 +588,14 @@ func Run(opts Options) (*Report, error) {
 			}
 			if err := c.InjectValueFault(a.A, half, spec); err != nil {
 				return nil, fmt.Errorf("chaos: arming %v: %w", a, err)
+			}
+		case ActSkewStep:
+			if sk := c.SkewMember(a.A); sk != nil {
+				sk.Step(a.Offset)
+			}
+		case ActSkewDrift:
+			if sk := c.SkewMember(a.A); sk != nil {
+				sk.SetDrift(a.Drift)
 			}
 		}
 	}

@@ -69,6 +69,12 @@ const (
 	ActCrashFollower
 	// ActValueFault arms Spec on Half of A's pair.
 	ActValueFault
+	// ActSkewStep jumps member A's local clock forward by Offset
+	// (virtual-clock lanes only).
+	ActSkewStep
+	// ActSkewDrift sets member A's local clock rate to (1+Drift)
+	// (virtual-clock lanes only).
+	ActSkewDrift
 )
 
 // Action is one scheduled fault event.
@@ -85,6 +91,11 @@ type Action struct {
 	Spec faults.Spec
 	// Latency, for ActShapeLink, is the fixed one-way link latency.
 	Latency time.Duration
+	// Offset, for ActSkewStep, is the forward jump applied to A's clock.
+	Offset time.Duration
+	// Drift, for ActSkewDrift, is the fractional rate error applied to
+	// A's clock (500e-6 = +500ppm, runs fast).
+	Drift float64
 }
 
 // String renders the action canonically (byte-stable across runs — the
@@ -105,6 +116,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("t=%v crash-follower %s", a.At, a.A)
 	case ActValueFault:
 		return fmt.Sprintf("t=%v value-fault %s %s %s", a.At, a.A, a.Half, a.Spec)
+	case ActSkewStep:
+		return fmt.Sprintf("t=%v skew-step %s offset=%v", a.At, a.A, a.Offset)
+	case ActSkewDrift:
+		return fmt.Sprintf("t=%v skew-drift %s rate=%+.0fppm", a.At, a.A, a.Drift*1e6)
 	default:
 		return fmt.Sprintf("t=%v unknown(%d)", a.At, a.Kind)
 	}
@@ -118,19 +133,25 @@ type Schedule struct {
 	// Churn records that the schedule was generated for a restart-churn
 	// run: at least one crash is always scheduled, because the remediation
 	// under test needs a kill to restart from.
-	Churn   bool
+	Churn bool
+	// Skew records that the schedule was generated with clock-skew faults
+	// enabled (virtual-clock lanes only).
+	Skew    bool
 	Actions []Action
 }
 
 // String renders the whole schedule canonically.
 func (s Schedule) String() string {
 	var b strings.Builder
-	churn := ""
+	marks := ""
 	if s.Churn {
-		churn = " churn"
+		marks += " churn"
+	}
+	if s.Skew {
+		marks += " skew"
 	}
 	fmt.Fprintf(&b, "chaos schedule seed=%d members=%d duration=%v%s\n",
-		s.Seed, len(s.Members), s.Duration, churn)
+		s.Seed, len(s.Members), s.Duration, marks)
 	for _, a := range s.Actions {
 		b.WriteString("  " + a.String() + "\n")
 	}
@@ -160,6 +181,21 @@ func (s Schedule) Crashed() []string {
 	return out
 }
 
+// Skewed returns the members scheduled for a clock-skew fault, in schedule
+// order (duplicates possible: a member can take a step and a drift).
+func (s Schedule) Skewed() []string {
+	var out []string
+	for _, a := range s.Actions {
+		if a.Kind == ActSkewStep || a.Kind == ActSkewDrift {
+			out = append(out, a.A)
+		}
+	}
+	return out
+}
+
+// HasSkew reports whether any clock-skew action is scheduled.
+func (s Schedule) HasSkew() bool { return len(s.Skewed()) > 0 }
+
 // GenConfig parameterises schedule generation.
 type GenConfig struct {
 	// Seed drives every random choice.
@@ -175,6 +211,14 @@ type GenConfig struct {
 	// every churn schedule exercises the kill→replace→state-transfer→
 	// rejoin cycle. Needs enough members for a budget of two.
 	Churn bool
+	// Skew additionally schedules clock-skew faults: bounded per-member
+	// steps and rate errors that a correct pair must ride out without
+	// fail-signalling. Only virtual-clock lanes can execute them.
+	Skew bool
+	// Delta is the pair synchrony bound the skew amplitudes are derived
+	// from (0 = 250ms). Generation only; the run's oracle bound still
+	// comes from Options.Delta.
+	Delta time.Duration
 }
 
 // Generate expands one seed into a schedule. The same config always
@@ -191,7 +235,7 @@ type GenConfig struct {
 func Generate(cfg GenConfig) Schedule {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := len(cfg.Members)
-	s := Schedule{Seed: cfg.Seed, Members: append([]string(nil), cfg.Members...), Duration: cfg.Duration, Churn: cfg.Churn}
+	s := Schedule{Seed: cfg.Seed, Members: append([]string(nil), cfg.Members...), Duration: cfg.Duration, Churn: cfg.Churn, Skew: cfg.Skew}
 	maxFaults := (n - 1) / 2
 	if maxFaults < 1 {
 		maxFaults = 1 // callers enforce n ≥ 4; keep the headline fault regardless
@@ -333,6 +377,36 @@ func Generate(cfg GenConfig) Schedule {
 			Action{At: start, Kind: ActShapeLink, A: a, B: b, Latency: lat},
 			Action{At: stop, Kind: ActUnshapeLink, A: a, B: b},
 		)
+	}
+
+	// Clock-skew faults, drawn strictly after every other class so seeds
+	// generated without Skew keep their byte-identical schedules. A skewed
+	// member has no scheduled pair fault: the oracles demand it stays
+	// fail-silent and unsuspected, so the amplitudes stay an order of
+	// magnitude inside the pair deadlines — steps at most δ/10 (and only
+	// forward: backward local time is a different fault class than skew),
+	// rate errors at most ±500ppm, an order of magnitude beyond real
+	// crystal oscillators.
+	if cfg.Skew {
+		delta := cfg.Delta
+		if delta == 0 {
+			delta = 250 * time.Millisecond
+		}
+		nSkew := 1 + rng.Intn(2)
+		for i := 0; i < nSkew; i++ {
+			target := cfg.Members[rng.Intn(n)]
+			at := offset(0.05, 0.5)
+			if rng.Intn(2) == 0 {
+				step := delta/50 + time.Duration(rng.Float64()*float64(delta/10-delta/50))
+				s.Actions = append(s.Actions, Action{At: at, Kind: ActSkewStep, A: target, Offset: step})
+			} else {
+				drift := (50 + float64(rng.Intn(451))) * 1e-6
+				if rng.Intn(2) == 1 {
+					drift = -drift
+				}
+				s.Actions = append(s.Actions, Action{At: at, Kind: ActSkewDrift, A: target, Drift: drift})
+			}
+		}
 	}
 
 	// Stable execution order: by time, ties broken by the deterministic

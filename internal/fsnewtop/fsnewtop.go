@@ -151,6 +151,10 @@ type Config struct {
 	// Peers are the other members' names: they are watchers of this
 	// member's fail-signal (their GCs must learn of our failure).
 	Peers []string
+	// Clock, if non-nil, overrides the fabric clock for this member's pair
+	// and ORB. The chaos plane's clock-skew faults use it to give each
+	// member its own skewed view of one shared virtual timeline.
+	Clock clock.Clock
 	// Delta is δ for the pair's synchronous link. 0 = 5ms.
 	Delta time.Duration
 	// Kappa, Sigma: see failsignal.ReplicaConfig (0 = paper's 2).
@@ -231,6 +235,10 @@ func New(cfg Config) (*NSO, error) {
 	if cfg.TickInterval == 0 {
 		cfg.TickInterval = 20 * time.Millisecond
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = fab.Clock
+	}
 	newSigner := fab.NewSigner
 	if newSigner == nil {
 		newSigner = func(id sig.ID) (sig.Signer, error) {
@@ -293,7 +301,7 @@ func New(cfg Config) (*NSO, error) {
 		NewMachine:      func() sm.Machine { return group.New(gcCfg) },
 		WrapMachine:     cfg.WrapMachine,
 		Net:             fab.Net,
-		Clock:           fab.Clock,
+		Clock:           clk,
 		Dir:             fab.Dir,
 		Keys:            fab.Keys,
 		NewSigner:       newSigner,
@@ -323,6 +331,7 @@ func New(cfg Config) (*NSO, error) {
 		Net:      fab.Net,
 		Naming:   fab.Naming,
 		PoolSize: cfg.PoolSize,
+		Clock:    clk,
 	})
 	if err != nil {
 		pair.Close()

@@ -73,6 +73,13 @@ type shard struct {
 	running bool
 	stopped bool
 
+	// Under a virtual clock, the dispatcher records the timer it parked on
+	// and the deadline that timer covers; the network's advance gate
+	// requires armedAt to match the heap front, proving the earliest
+	// pending delivery has a live timer and time may safely jump to it.
+	armed   *clock.VirtualTimer
+	armedAt int64
+
 	wake chan struct{} // cap 1: "the earliest deadline changed"
 	done chan struct{}
 
@@ -213,6 +220,10 @@ func (sh *shard) stop() {
 // that is almost all of them.
 func (sh *shard) run() {
 	defer sh.net.wg.Done()
+	vt := sh.net.vt
+	if vt != nil {
+		vt.Busy() // the send that started this dispatcher is in flight
+	}
 	var batch []pending
 	for {
 		sh.mu.Lock()
@@ -229,6 +240,10 @@ func (sh *shard) run() {
 		var tm clock.Timer
 		if len(batch) == 0 && len(sh.heap) > 0 {
 			tm = sh.net.clk.NewTimer(time.Duration(sh.heap[0].front().at - now))
+			if vt != nil {
+				sh.armed, _ = tm.(*clock.VirtualTimer)
+				sh.armedAt = sh.heap[0].front().at
+			}
 		}
 		sh.mu.Unlock()
 
@@ -244,6 +259,12 @@ func (sh *shard) run() {
 			continue
 		}
 
+		// The busy mark drops only while parked; the armed timer (or an
+		// empty heap) keeps the advance gate honest across the gap between
+		// Done and the actual channel block.
+		if vt != nil {
+			vt.Done()
+		}
 		if tm != nil {
 			select {
 			case <-tm.C():
@@ -259,6 +280,9 @@ func (sh *shard) run() {
 			case <-sh.done:
 				return
 			}
+		}
+		if vt != nil {
+			vt.Busy()
 		}
 	}
 }

@@ -122,6 +122,14 @@ func (r *registry) clone() *registry {
 type Network struct {
 	clk clock.Clock
 
+	// vt is set when clk is a *clock.Virtual: the network then
+	// participates in quiescence detection — Send and the dispatcher's
+	// delivery batches hold a busy mark, and virtualIdle (registered as an
+	// advance gate) refuses to let time jump while any shard has pending
+	// traffic not covered by an armed timer.
+	vt         *clock.Virtual
+	removeGate func()
+
 	reg   atomic.Pointer[registry]
 	regMu sync.Mutex // serializes registry clone-and-swap
 
@@ -177,7 +185,32 @@ func New(clk clock.Clock, opts ...Option) *Network {
 	for i := range n.shards {
 		n.shards[i] = newShard(n, splitmix64(uint64(n.seed)+uint64(i)))
 	}
+	if v, ok := clk.(*clock.Virtual); ok {
+		n.vt = v
+		n.removeGate = v.AddGate(n.virtualIdle)
+	}
 	return n
+}
+
+// virtualIdle is the network's advance gate under a virtual clock: the
+// clock may only jump when every shard is drained or parked with a live
+// timer armed for exactly its earliest pending deadline, and no wakeup
+// token is still in flight. Anything else means a delivery could still be
+// scheduled "now", and advancing would stamp it late.
+func (n *Network) virtualIdle() bool {
+	for _, sh := range n.shards {
+		if len(sh.wake) > 0 {
+			return false
+		}
+		sh.mu.Lock()
+		idle := len(sh.heap) == 0 ||
+			(sh.armed != nil && sh.armedAt == sh.heap[0].front().at && sh.armed.Pending())
+		sh.mu.Unlock()
+		if !idle {
+			return false
+		}
+	}
+	return true
 }
 
 // splitmix64 whitens shard seeds so that shard i and shard i+1 do not
@@ -304,6 +337,13 @@ func (n *Network) Send(from, to Addr, kind string, payload []byte) error {
 	if n.closed.Load() {
 		return ErrClosed
 	}
+	if n.vt != nil {
+		// Hold the busy mark until after the wakeup token is posted, so the
+		// virtual clock cannot advance between "message scheduled" and
+		// "dispatcher knows about it".
+		n.vt.Busy()
+		defer n.vt.Done()
+	}
 	reg := n.reg.Load()
 	if _, ok := reg.handlers[to]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
@@ -353,4 +393,7 @@ func (n *Network) Close() {
 		sh.stop()
 	}
 	n.wg.Wait()
+	if n.removeGate != nil {
+		n.removeGate()
+	}
 }
