@@ -88,6 +88,14 @@ type Options struct {
 	// RSA selects MD5-with-RSA signing for FS pairs (the paper's scheme)
 	// instead of fast HMAC.
 	RSA bool
+	// Batch arms the batch plane end to end: the FS invocation window
+	// coalesces multicasts into one sign/compare round, pairs compare
+	// large outputs by digest, and the substrate coalesces adjacent
+	// same-link messages into multi-message frames (tcpnet batch frames;
+	// netsim's equivalent framing model). Off by default so existing
+	// trajectories stay comparable; NewTOP runs ignore the FS half and
+	// keep only the transport framing.
+	Batch bool
 	// Transport selects the network substrate: "netsim" (default, the
 	// seeded in-process simulator) or "tcp" (real loopback TCP sockets
 	// via transport/tcpnet). Latency/bandwidth/seed options only shape
@@ -199,14 +207,19 @@ const (
 func newTransport(opts Options, clk clock.Clock) (transport.Transport, error) {
 	switch opts.Transport {
 	case TransportNetsim:
-		return netsim.New(clk,
+		nopts := []netsim.Option{
 			netsim.WithSeed(opts.Seed),
 			netsim.WithDefaultProfile(transport.Profile{
 				Latency:        transport.Fixed(opts.NetLatency),
 				BytesPerSecond: opts.Bandwidth,
-			})), nil
+			}),
+		}
+		if opts.Batch {
+			nopts = append(nopts, netsim.WithCoalescing())
+		}
+		return netsim.New(clk, nopts...), nil
 	case TransportTCP:
-		return tcpnet.New(tcpnet.Config{})
+		return tcpnet.New(tcpnet.Config{Coalesce: opts.Batch})
 	default:
 		return nil, fmt.Errorf("bench: unknown transport %q (want %q or %q)",
 			opts.Transport, TransportNetsim, TransportTCP)
@@ -242,8 +255,14 @@ type Result struct {
 	// Delivered counts total deliveries across members; Expected is
 	// Members² × MsgsPerMember.
 	Delivered, Expected int
+	// Batch records whether the run had the batch plane armed.
+	Batch bool
 	// NetMessages and NetBytes are fabric-level traffic totals.
 	NetMessages, NetBytes uint64
+	// NetFrames counts wire frames, when the substrate accounts for them
+	// (both substrates do). NetMessages/NetFrames is the measured
+	// amortization factor; 1.0 with batching off.
+	NetFrames uint64
 	// SigCacheHits and SigCacheMisses are the FS deployment's
 	// verification-memo counters (zero for NewTOP, which signs nothing):
 	// hits are signature checks the double-signing discipline demanded
@@ -515,9 +534,13 @@ func Run(opts Options) (Result, error) {
 	if counted > 0 {
 		res.Throughput = tput / float64(counted)
 	}
+	res.Batch = opts.Batch
 	if stats, ok := transport.GetStats(net); ok {
 		res.NetMessages = stats.Sent
 		res.NetBytes = stats.Bytes
+	}
+	if fc, ok := net.(interface{ FramesSent() uint64 }); ok {
+		res.NetFrames = fc.FramesSent()
 	}
 	if fab != nil {
 		cs := fab.SigCacheStats()
@@ -619,7 +642,7 @@ func buildCluster(opts Options, net transport.Transport, reg *trace.Registry, cl
 					peers = append(peers, p)
 				}
 			}
-			svc, err := fsnewtop.New(fsnewtop.Config{
+			fcfg := fsnewtop.Config{
 				Name:         name,
 				Fabric:       fab,
 				Peers:        peers,
@@ -630,7 +653,12 @@ func buildCluster(opts Options, net transport.Transport, reg *trace.Registry, cl
 				GC: group.Config{
 					ResendAfter: 50 * time.Millisecond,
 				},
-			})
+			}
+			if opts.Batch {
+				fcfg.Batch = fsnewtop.BatchConfig{Enabled: true}
+				fcfg.DigestCompareMin = 1 << 10
+			}
+			svc, err := fsnewtop.New(fcfg)
 			if err != nil {
 				return nil, nil, err
 			}

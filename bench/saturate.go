@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fsnewtop/internal/clock"
+)
+
+// SaturateOptions parameterises one saturation ramp: a sequence of runs
+// on one substrate, each offering more load than the last, until the
+// achieved ordering throughput stops improving — the substrate's
+// throughput ceiling for this configuration.
+type SaturateOptions struct {
+	// Transport selects the substrate ("netsim" or "tcp").
+	Transport string
+	// Batch arms the batch plane for the whole ramp (see Options.Batch).
+	Batch bool
+	// Members is the group size (0 = 5).
+	Members int
+	// MsgSize is the payload size in bytes (0 = 1024).
+	MsgSize int
+	// MsgsPerMember is the per-step message count (0 = 100). Each step
+	// re-runs the full workload at its own offered rate.
+	MsgsPerMember int
+	// Intervals is the offered-load ramp, as per-member inter-send gaps,
+	// fastest last. Nil selects the default ramp (2ms down to 50µs).
+	Intervals []time.Duration
+	// Seed seeds netsim randomness.
+	Seed int64
+	// Timeout bounds each step.
+	Timeout time.Duration
+	// TraceDir is where stall dumps land.
+	TraceDir string
+	// NoStallDump suppresses stall trace dumps.
+	NoStallDump bool
+}
+
+func (o *SaturateOptions) fillDefaults() {
+	if o.Transport == "" {
+		o.Transport = TransportNetsim
+	}
+	if o.Members == 0 {
+		o.Members = 5
+	}
+	if o.MsgSize == 0 {
+		o.MsgSize = 1024
+	}
+	if o.MsgsPerMember == 0 {
+		o.MsgsPerMember = 100
+	}
+	if len(o.Intervals) == 0 {
+		o.Intervals = []time.Duration{
+			2 * time.Millisecond,
+			time.Millisecond,
+			500 * time.Microsecond,
+			200 * time.Microsecond,
+			100 * time.Microsecond,
+			50 * time.Microsecond,
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Minute
+	}
+}
+
+// SaturatePoint is one step of the ramp.
+type SaturatePoint struct {
+	// IntervalUS is the per-member inter-send gap for this step.
+	IntervalUS float64 `json:"interval_us"`
+	// OfferedMPS is the load the workload tried to put through the
+	// ordering service, in ordered messages per second per member:
+	// every member multicasts at 1/interval, and each delivers all
+	// members' traffic.
+	OfferedMPS float64 `json:"offered_msgs_per_sec"`
+	// AchievedMPS is the measured ordering throughput at a member.
+	AchievedMPS float64 `json:"achieved_msgs_per_sec"`
+	// AchievedMBps converts achieved throughput into payload megabytes
+	// per second.
+	AchievedMBps float64 `json:"achieved_mb_per_sec"`
+	// AmortizationFactor is net_messages/net_frames for the step: how
+	// many transport messages crossed per wire frame (1.0 unbatched).
+	AmortizationFactor float64 `json:"amortization_factor,omitempty"`
+	// Err records a failed step ("" = ok). A stalled or timed-out step
+	// still reports whatever it measured.
+	Err string `json:"err,omitempty"`
+}
+
+// SaturateReport is one ramp's outcome.
+type SaturateReport struct {
+	Transport string          `json:"transport"`
+	Batch     bool            `json:"batch"`
+	Members   int             `json:"members"`
+	MsgSize   int             `json:"msg_size"`
+	Generated time.Time       `json:"generated"`
+	Points    []SaturatePoint `json:"points"`
+	// CeilingMPS and CeilingMBps are the best achieved step — the
+	// configuration's throughput ceiling on this substrate.
+	CeilingMPS  float64 `json:"ceiling_msgs_per_sec"`
+	CeilingMBps float64 `json:"ceiling_mb_per_sec"`
+}
+
+// RunSaturate drives one saturation ramp: the FS-NewTOP workload at each
+// offered rate in turn, recording achieved throughput until the ramp is
+// exhausted or a step fails. The ceiling is the best achieved step —
+// offered load beyond it only queues, it does not order faster.
+func RunSaturate(opts SaturateOptions) SaturateReport {
+	opts.fillDefaults()
+	rep := SaturateReport{
+		Transport: opts.Transport,
+		Batch:     opts.Batch,
+		Members:   opts.Members,
+		MsgSize:   opts.MsgSize,
+		Generated: clock.NewReal().Now().UTC(),
+	}
+	for _, iv := range opts.Intervals {
+		ro := Options{
+			System:        SystemFSNewTOP,
+			Members:       opts.Members,
+			MsgsPerMember: opts.MsgsPerMember,
+			MsgSize:       opts.MsgSize,
+			SendInterval:  iv,
+			Transport:     opts.Transport,
+			Batch:         opts.Batch,
+			Seed:          opts.Seed,
+			Timeout:       opts.Timeout,
+			TraceDir:      opts.TraceDir,
+			NoStallDump:   opts.NoStallDump,
+		}
+		res, err := Run(ro)
+		pt := SaturatePoint{
+			IntervalUS:   float64(iv.Nanoseconds()) / 1e3,
+			OfferedMPS:   float64(opts.Members) / iv.Seconds(),
+			AchievedMPS:  res.Throughput,
+			AchievedMBps: res.Throughput * float64(opts.MsgSize) / 1e6,
+		}
+		if res.NetFrames > 0 {
+			pt.AmortizationFactor = float64(res.NetMessages) / float64(res.NetFrames)
+		}
+		if err != nil {
+			pt.Err = err.Error()
+		}
+		rep.Points = append(rep.Points, pt)
+		if pt.AchievedMPS > rep.CeilingMPS {
+			rep.CeilingMPS = pt.AchievedMPS
+			rep.CeilingMBps = pt.AchievedMBps
+		}
+		if err != nil {
+			break // past the ceiling into failure: no point ramping further
+		}
+	}
+	return rep
+}
+
+// FormatSaturate renders one ramp as a table.
+func FormatSaturate(rep SaturateReport) string {
+	var b strings.Builder
+	mode := "unbatched"
+	if rep.Batch {
+		mode = "batched"
+	}
+	fmt.Fprintf(&b, "Saturation ramp — FS-NewTOP/%s %s (%d members, %dB payloads)\n",
+		rep.Transport, mode, rep.Members, rep.MsgSize)
+	fmt.Fprintf(&b, "%-12s %12s %12s %10s %8s\n", "interval", "offered/s", "achieved/s", "MB/s", "msgs/frm")
+	for _, p := range rep.Points {
+		status := ""
+		if p.Err != "" {
+			status = "  ! " + p.Err
+		}
+		fmt.Fprintf(&b, "%-12v %12.0f %12.0f %10.2f %8.1f%s\n",
+			time.Duration(p.IntervalUS*1e3), p.OfferedMPS, p.AchievedMPS, p.AchievedMBps, p.AmortizationFactor, status)
+	}
+	fmt.Fprintf(&b, "ceiling: %.0f msgs/s (%.2f MB/s)\n", rep.CeilingMPS, rep.CeilingMBps)
+	return b.String()
+}
+
+// WriteSaturate writes a set of ramps (typically each substrate with
+// batching off and on) as BENCH_saturate.json under dir.
+func WriteSaturate(dir string, reps []SaturateReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_saturate.json")
+	data, err := json.MarshalIndent(struct {
+		Lanes []SaturateReport `json:"lanes"`
+	}{reps}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

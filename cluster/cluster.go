@@ -106,6 +106,7 @@ type config struct {
 	traceReg     *trace.Registry
 	autoHeal     bool
 	healEvery    time.Duration
+	batch        bool
 }
 
 // Option configures New.
@@ -205,6 +206,21 @@ func WithFaultPlan() Option {
 // builds the members.
 func WithTrace(reg *trace.Registry) Option {
 	return func(c *config) { c.traceReg = reg }
+}
+
+// WithBatching arms the batch plane on every fail-signal member: the
+// invocation layer coalesces multicasts submitted within a bounded
+// δ-safe accumulation window into one FS order/sign/compare round (the
+// window's defaults: 64 messages, 256 KiB, 2ms — an idle member still
+// submits immediately, so unbatched latency is unchanged), and pairs
+// compare outputs of 1 KiB or more by digest instead of by body. Off by
+// default: without this option every wire schedule stays byte-identical
+// to the pre-batch-plane system. Receivers always understand batched
+// traffic, so mixed deployments (some members batching, some not) are
+// fine. Ignored (harmless) under WithCrashTolerance, whose members have
+// no FS round to amortize.
+func WithBatching() Option {
+	return func(c *config) { c.batch = true }
 }
 
 // WithAutoHeal arms the self-healing plane: a remediation controller
@@ -500,7 +516,7 @@ func (c *Cluster) buildMember(name string, peers []string) (*Member, error) {
 			return sw
 		}
 	}
-	nso, err := fsnewtop.New(fsnewtop.Config{
+	fcfg := fsnewtop.Config{
 		Name:         name,
 		Fabric:       c.fab,
 		Peers:        peers,
@@ -513,7 +529,12 @@ func (c *Cluster) buildMember(name string, peers []string) (*Member, error) {
 		GC: group.Config{
 			ViewRetryAfter: c.cfg.viewRetry,
 		},
-	})
+	}
+	if c.cfg.batch {
+		fcfg.Batch = fsnewtop.BatchConfig{Enabled: true}
+		fcfg.DigestCompareMin = 1 << 10
+	}
+	nso, err := fsnewtop.New(fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -752,6 +773,11 @@ func (c *Cluster) heal(victim string) {
 		c.mu.Unlock()
 		return // already healed (or never ours)
 	}
+	// The victim's private clock view dies with its stack: the replacement
+	// gets a fresh, unskewed one from buildMember, and a chaos action
+	// aimed at the old handle must miss loudly (SkewMember → nil) rather
+	// than silently skew a corpse.
+	delete(c.skews, victim)
 	base := baseName(victim)
 	if c.gen[base] == 0 {
 		c.gen[base] = 1

@@ -98,6 +98,27 @@ func TestClusterTCP(t *testing.T) {
 	runTotalOrder(t, c)
 }
 
+// TestClusterBatchedTotalOrder runs the canonical workload with the
+// batch plane armed: coalesced FS rounds and digest-only compares must
+// be invisible to the application — same deliveries, same total order,
+// no fail-signals.
+func TestClusterBatchedTotalOrder(t *testing.T) {
+	c, err := cluster.New(
+		cluster.WithMembers("alice", "bob", "carol"),
+		cluster.WithBatching(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	runTotalOrder(t, c)
+	for _, name := range c.Names() {
+		if c.PairFailed(name) {
+			t.Fatalf("batching caused a fail-signal on %s", name)
+		}
+	}
+}
+
 // TestClusterCrashTolerance builds the baseline system and checks the
 // fail-signal helpers refuse.
 func TestClusterCrashTolerance(t *testing.T) {

@@ -61,6 +61,80 @@ func TestClusterVirtualTimeSkewedMemberStaysGreen(t *testing.T) {
 	}
 }
 
+// TestAutoHealRespawnVirtualClock pins the respawn path's clock wiring
+// under WithVirtualTime: a replacement member spawned by the auto-heal
+// controller must come up on its own fresh clock.Skewed view of the one
+// virtual timeline (not real-clock defaults), and the dead member's skew
+// handle must be retired so a late chaos action misses loudly instead of
+// skewing a corpse.
+func TestAutoHealRespawnVirtualClock(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	c, err := cluster.New(
+		cluster.WithMembers("a", "b", "c"),
+		cluster.WithVirtualTime(v),
+		cluster.WithViewRetry(200*time.Millisecond),
+		cluster.WithAutoHeal(20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.JoinAll("g"); err != nil {
+		t.Fatal(err)
+	}
+	if c.SkewMember("c") == nil {
+		t.Fatal("SkewMember(c) nil before the failure")
+	}
+	if !c.CrashFollower("c") {
+		t.Fatal("CrashFollower refused")
+	}
+	// Traffic forces output comparison inside c's pair, surfacing the
+	// divergence as a fail-signal the controller remediates.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			_ = c.Member("a").Multicast("g", cluster.TotalSym, []byte("probe"))
+		}
+	}()
+	var ev cluster.HealEvent
+	select {
+	case ev = <-c.HealEvents():
+	case <-time.After(60 * time.Second):
+		t.Fatal("auto-heal controller never remediated under virtual time")
+	}
+	if ev.Failed != "c" || ev.Replacement != "c~2" || ev.Err != nil {
+		t.Fatalf("heal event = %+v", ev)
+	}
+	if c.SkewMember("c") != nil {
+		t.Fatal("dead member's skew handle survived the heal")
+	}
+	sk := c.SkewMember("c~2")
+	if sk == nil {
+		t.Fatal("replacement has no skew handle: it was built off the virtual timeline")
+	}
+	// The replacement's clock is a live view of v's timeline — and it must
+	// start unskewed, whatever the victim's skew was.
+	if got, want := sk.Now(), v.Now(); got.Before(want.Add(-time.Millisecond)) || got.After(want.Add(time.Millisecond)) {
+		t.Fatalf("replacement clock reads %v, virtual timeline is at %v", got, want)
+	}
+	// And it is a working member: admitted, multicasting, delivered.
+	awaitViewWith(t, c.Member("c~2"), 3, "c~2")
+	if err := c.Member("c~2").Multicast("g", cluster.TotalSym, []byte("from-heal")); err != nil {
+		t.Fatal(err)
+	}
+	awaitPayload(t, c.Member("b"), "from-heal")
+	if v.Elapsed() <= 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+}
+
 // TestClusterVirtualTimeRefusesRealTransport: virtual time cannot pace
 // real sockets, and the builder must say so by name rather than wedge.
 func TestClusterVirtualTimeRefusesRealTransport(t *testing.T) {

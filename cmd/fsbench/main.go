@@ -4,6 +4,8 @@
 //	fsbench -exp fig7            # throughput vs group size (2..15)
 //	fsbench -exp fig8            # throughput vs message size (10 members)
 //	fsbench -exp fig8 -procs 10  # same sweep, one OS process per member
+//	fsbench -exp fig8 -batch     # same sweep with the batch plane armed (BENCH_fig8_batched.json)
+//	fsbench -exp saturate        # offered-load ramp to the throughput ceiling, per substrate, batching off and on
 //	fsbench -worker              # internal: deploy-plane worker process
 //	fsbench -exp soak            # large-group scheduler soak (40 members)
 //	fsbench -exp soak -virtual   # time-accelerated soak: simulated protocol-hours in wall seconds
@@ -96,6 +98,10 @@ func main() {
 		virtual   = flag.Bool("virtual", false, "run soak/chaos/churn on the auto-advancing virtual clock (netsim only): simulated protocol time, wall cost = computation only")
 		simHours  = flag.Float64("sim-hours", 1, "simulated protocol-hours for -exp soak -virtual")
 		skew      = flag.Bool("skew", false, "schedule clock-skew faults (per-member steps and drift) in -exp chaos; needs -virtual")
+		batch     = flag.Bool("batch", false, "arm the batch plane: coalesced FS sign/compare rounds, digest-only pair compares, multi-message wire frames (figure lanes write *_batched series; chaos runs the schedule batched)")
+		satSize   = flag.Int("saturate-size", 1024, "payload size in bytes for -exp saturate")
+		satMsgs   = flag.Int("saturate-msgs", 100, "messages per member per ramp step for -exp saturate")
+		satRamp   = flag.String("saturate-ramp", "", "comma-separated per-member send intervals for -exp saturate, fastest last (e.g. 2ms,500us,100us); empty = default ramp")
 	)
 	flag.Parse()
 
@@ -185,6 +191,7 @@ func main() {
 		SendInterval:  *interval,
 		PoolSize:      *pool,
 		RSA:           *rsa,
+		Batch:         *batch,
 		Transport:     *trans,
 		Timeout:       *timeout,
 		Seed:          *seed,
@@ -209,6 +216,12 @@ func main() {
 			// multi-process lane needs no suffix here — its figure name
 			// ("fig8_procs") already is the lane.
 			figure += "_tcp"
+		}
+		if *batch {
+			// Batched runs are a different machine: their series sit next to
+			// the unbatched trajectory (BENCH_fig8_batched.json vs
+			// BENCH_fig8.json), never on top of it.
+			figure += "_batched"
 		}
 		path, err := bench.WriteSeries(*jsonDir, bench.ToSeries(figure, xAxis, substrate, rows))
 		if err != nil {
@@ -311,6 +324,7 @@ func main() {
 				Churn:     *churn,
 				Virtual:   *virtual,
 				Skew:      *skew,
+				Batch:     *batch,
 			}
 			rep, err := bench.RunChaos(opts)
 			if err != nil {
@@ -381,6 +395,61 @@ func main() {
 		}
 	}
 
+	// runSaturate ramps offered load on each selected substrate, batching
+	// off then on, until achieved ordering throughput stops improving —
+	// the throughput-ceiling lane. An explicit -transport restricts to one
+	// substrate; an explicit -batch restricts to the batched ramp.
+	runSaturate := func() {
+		substrates := []string{bench.TransportNetsim, bench.TransportTCP}
+		modes := []bool{false, true}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "transport":
+				substrates = []string{*trans}
+			case "batch":
+				modes = []bool{*batch}
+			}
+		})
+		var ramp []time.Duration
+		if *satRamp != "" {
+			for _, part := range strings.Split(*satRamp, ",") {
+				d, err := time.ParseDuration(strings.TrimSpace(part))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad -saturate-ramp %q: %v\n", *satRamp, err)
+					os.Exit(2)
+				}
+				ramp = append(ramp, d)
+			}
+		}
+		var reps []bench.SaturateReport
+		for _, substrate := range substrates {
+			for _, mode := range modes {
+				rep := bench.RunSaturate(bench.SaturateOptions{
+					Transport:     substrate,
+					Batch:         mode,
+					MsgSize:       *satSize,
+					MsgsPerMember: *satMsgs,
+					Intervals:     ramp,
+					Seed:          *seed,
+					Timeout:       *timeout,
+					TraceDir:      *traceDir,
+					NoStallDump:   !*stallDump,
+				})
+				fmt.Print(bench.FormatSaturate(rep))
+				fmt.Println()
+				reps = append(reps, rep)
+			}
+		}
+		if *jsonDir != "" {
+			path, err := bench.WriteSaturate(*jsonDir, reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing saturate series: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
 	// runFig8Procs is the distributed fig8 lane: every member its own OS
 	// process (this binary re-executed with -worker), orchestrated by the
 	// deploy controller, aggregated into the same Row/series shapes.
@@ -436,8 +505,10 @@ func main() {
 			runChaos()
 		case "churn":
 			runChurn()
+		case "saturate":
+			runSaturate()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, soak, wedge, chaos, churn or all)\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig6, fig7, fig8, saturate, soak, wedge, chaos, churn or all)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println()

@@ -45,13 +45,15 @@ type PairConfig struct {
 	// sig.CachedVerifier). Nil means both replicas verify directly
 	// against Keys.
 	NewVerifier func() sig.Verifier
-	// Delta, Kappa, Sigma, T1, T2, TickInterval, StrictDeadlines: see
-	// ReplicaConfig.
-	Delta           time.Duration
-	Kappa, Sigma    float64
-	T1, T2          time.Duration
-	TickInterval    time.Duration
-	StrictDeadlines bool
+	// Delta, Kappa, Sigma, T1, T2, TickInterval, StrictDeadlines,
+	// DigestCompareMin: see ReplicaConfig. NewPair hands both replicas the
+	// same DigestCompareMin, which is the setting's correctness condition.
+	Delta            time.Duration
+	Kappa, Sigma     float64
+	T1, T2           time.Duration
+	TickInterval     time.Duration
+	StrictDeadlines  bool
+	DigestCompareMin int
 	// LocalName and Watchers: see ReplicaConfig.
 	LocalName string
 	Watchers  []string
@@ -147,20 +149,21 @@ func NewPair(cfg PairConfig) (*Pair, error) {
 	}
 
 	base := ReplicaConfig{
-		Name:            cfg.Name,
-		Net:             cfg.Net,
-		Clock:           cfg.Clock,
-		Dir:             cfg.Dir,
-		Verifier:        cfg.Keys,
-		Delta:           cfg.Delta,
-		Kappa:           cfg.Kappa,
-		Sigma:           cfg.Sigma,
-		T1:              cfg.T1,
-		T2:              cfg.T2,
-		StrictDeadlines: cfg.StrictDeadlines,
-		LocalName:       cfg.LocalName,
-		Watchers:        cfg.Watchers,
-		OnFailSignal:    cfg.OnFailSignal,
+		Name:             cfg.Name,
+		Net:              cfg.Net,
+		Clock:            cfg.Clock,
+		Dir:              cfg.Dir,
+		Verifier:         cfg.Keys,
+		Delta:            cfg.Delta,
+		Kappa:            cfg.Kappa,
+		Sigma:            cfg.Sigma,
+		T1:               cfg.T1,
+		T2:               cfg.T2,
+		StrictDeadlines:  cfg.StrictDeadlines,
+		DigestCompareMin: cfg.DigestCompareMin,
+		LocalName:        cfg.LocalName,
+		Watchers:         cfg.Watchers,
+		OnFailSignal:     cfg.OnFailSignal,
 	}
 
 	wrap := cfg.WrapMachine
@@ -318,7 +321,7 @@ func (rc *Receiver) Handle(msg transport.Message) {
 		return
 	}
 	p, err := decodeNewPayload(msg.Payload)
-	if err != nil || p.tag != tagFS {
+	if err != nil || (p.tag != tagFS && p.tag != tagFSD) {
 		return
 	}
 	if err := rc.dir.VerifyFromFS(p.body.Source, p.dbl, rc.verifier); err != nil {
@@ -348,7 +351,7 @@ func (rc *Receiver) Handle(msg transport.Message) {
 		}
 		return
 	}
-	out, err := sm.UnmarshalOutput(p.body.Output)
+	out, err := sm.UnmarshalOutput(p.outputBytes())
 	if err != nil {
 		return
 	}

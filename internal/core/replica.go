@@ -83,6 +83,19 @@ type ReplicaConfig struct {
 	// Watchers are logical names additionally notified when this replica
 	// emits a fail-signal ("all entities that are expecting a response").
 	Watchers []string
+	// DigestCompareMin, when positive, switches outputs whose encoding is
+	// at least this many bytes to digest-only comparison: the Compare
+	// threads sign and exchange a fixed-size body carrying
+	// sig.Digest(output) instead of the output itself, so the sync-link
+	// byte volume (and the peer's hash-to-verify cost) stops scaling with
+	// payload size. The digests are equal iff the outputs are equal, so
+	// the comparison is exactly as discriminating; the matched output is
+	// dispatched as a tagFSD payload carrying the full bytes alongside the
+	// double-signed digest body. Zero disables (full-body comparison).
+	// Both replicas of a pair must use the same value — a split setting
+	// makes every large output compare unequal, which the pair reports as
+	// divergence (fail-signal), not corruption.
+	DigestCompareMin int
 	// StrictDeadlines restores the paper-literal fixed comparison and t2
 	// deadlines: a deadline that expires fail-signals, full stop. The
 	// default (false) is progress-aware: an expired deadline whose peer
@@ -141,7 +154,11 @@ type ReplicaStats struct {
 type icmpEntry struct {
 	digest [32]byte
 	dests  []string
-	w      *watch
+	// full, under digest-only comparison, retains the full output bytes
+	// the signed digest body pins: the peer's candidate carries only the
+	// digest, so dispatch must supply the body from the local copy.
+	full []byte
+	w    *watch
 }
 
 // ecmpEntry is an External Candidate Message Pool entry: a peer candidate
@@ -362,7 +379,7 @@ func (r *Replica) verifyPayload(p newPayload) error {
 			return fmt.Errorf("failsignal: client %q signed by %q", p.client.Client, p.env.Signer)
 		}
 		return p.env.Verify(r.cfg.Verifier)
-	case tagFS:
+	case tagFS, tagFSD:
 		return r.cfg.Dir.VerifyFromFS(p.body.Source, p.dbl, r.cfg.Verifier)
 	case tagTick:
 		return fmt.Errorf("failsignal: tick received outside the fwd link")
@@ -659,8 +676,18 @@ func (r *Replica) compareDeadline(pi, tau time.Duration) time.Duration {
 // compareOutput implements the Compare send side for one output: sign it
 // once, forward to the remote Compare, and either match it against an
 // already-received peer candidate or pool it in the ICMP under a deadline.
+// Large outputs (>= DigestCompareMin) compare digest-only: the signed body
+// carries sig.Digest(output) rather than the output, so the sync link and
+// the peer's verification hash a fixed 32 bytes regardless of payload size.
 func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
-	body := OutputBody{Source: r.cfg.Name, Seq: seq, Output: sm.MarshalOutput(out)}
+	outBytes := sm.MarshalOutput(out)
+	body := OutputBody{Source: r.cfg.Name, Seq: seq, Output: outBytes}
+	var full []byte
+	if min := r.cfg.DigestCompareMin; min > 0 && len(outBytes) >= min {
+		full = outBytes
+		d := sig.Digest(outBytes)
+		body = OutputBody{Source: r.cfg.Name, Seq: seq, DigestOnly: true, Output: d[:]}
+	}
 	bb := body.Marshal()
 	digest := sig.Digest(bb)
 
@@ -692,10 +719,10 @@ func (r *Replica) compareOutput(seq uint64, out sm.Output, pi time.Duration) {
 			r.failSignal(fmt.Sprintf("output %d content mismatch", seq))
 			return
 		}
-		r.dispatchMatched(peer.env, out.To)
+		r.dispatchMatched(peer.env, out.To, full)
 		return
 	}
-	e := &icmpEntry{digest: digest, dests: out.To}
+	e := &icmpEntry{digest: digest, dests: out.To, full: full}
 	e.w = r.wd.arm(watchCompare, "", seq, deadline, r.cmpProgress)
 	r.icmp[seq] = e
 	r.icmpOrder = append(r.icmpOrder, seq)
@@ -820,13 +847,13 @@ func (r *Replica) onSingle(msg transport.Message) {
 		if match {
 			r.cfg.Trace.Emit(trace.EvCompareMatch, body.Seq, 0, "")
 		}
-		dests := e.dests
+		dests, full := e.dests, e.full
 		r.mu.Unlock()
 		if !match {
 			r.failSignal(fmt.Sprintf("output %d content mismatch", body.Seq))
 			return
 		}
-		r.dispatchMatched(env, dests)
+		r.dispatchMatched(env, dests, full)
 		return
 	}
 	r.ecmp[body.Seq] = ecmpEntry{env: env, digest: digest}
@@ -863,14 +890,21 @@ const maxECMP = 1 << 16
 
 // dispatchMatched counter-signs the peer's candidate — producing the
 // double-signed output that is the valid output form of the FS process —
-// and sends it to every destination.
-func (r *Replica) dispatchMatched(peerEnv sig.Envelope, dests []string) {
+// and sends it to every destination. full, when non-nil, is the output
+// encoding a digest-only comparison withheld from the signed body; it
+// rides alongside the double signature in a tagFSD payload.
+func (r *Replica) dispatchMatched(peerEnv sig.Envelope, dests []string, full []byte) {
 	dbl, err := sig.CounterSign(r.cfg.Signer, peerEnv)
 	if err != nil {
 		r.failSignal(fmt.Sprintf("cannot counter-sign matched output: %v", err))
 		return
 	}
-	payload := encodeFSPayload(dbl)
+	var payload []byte
+	if full != nil {
+		payload = encodeFSDigestPayload(dbl, full)
+	} else {
+		payload = encodeFSPayload(dbl)
+	}
 	for _, dest := range dests {
 		r.sendToDest(dest, payload)
 	}

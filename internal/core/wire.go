@@ -35,6 +35,7 @@ const (
 	tagClient byte = iota + 1 // single-signed ClientInput
 	tagFS                     // double-signed OutputBody from an FS process
 	tagTick                   // leader-generated tick (only on the fwd link)
+	tagFSD                    // double-signed digest-only OutputBody plus the full output it pins
 )
 
 // ClientInput is a request submitted to an FS process by a plain endpoint.
@@ -74,8 +75,24 @@ type OutputBody struct {
 	Source     string // logical name of the producing FS process
 	Seq        uint64 // output sequence number (0 for fail-signals)
 	FailSignal bool
-	Output     []byte // sm.MarshalOutput encoding; empty for fail-signals
+	// DigestOnly marks a digest-compare body: Output then holds
+	// sig.Digest(full output bytes) instead of the output itself, so the
+	// sync-link compare cost stops scaling with payload size. The full
+	// bytes travel outside the signed body (see tagFSD) and are checked
+	// against this digest on receipt, which preserves fail-silence: a
+	// valid output still requires both Compare signatures over content
+	// that pins the full body.
+	DigestOnly bool
+	Output     []byte // sm.MarshalOutput encoding; digest when DigestOnly; empty for fail-signals
 }
+
+// OutputBody flag bits. The flags byte occupies the slot the encoding
+// historically spent on a single FailSignal bool (written as u8 0/1), so
+// every pre-digest-compare body encodes byte-identically to before.
+const (
+	obFlagFailSignal byte = 1 << iota
+	obFlagDigestOnly
+)
 
 // Marshal returns the canonical encoding of o. Canonical matters: output
 // comparison is equality of these bytes.
@@ -83,7 +100,14 @@ func (o OutputBody) Marshal() []byte {
 	w := codec.NewWriter(len(o.Output) + len(o.Source) + 24)
 	w.String(o.Source)
 	w.U64(o.Seq)
-	w.Bool(o.FailSignal)
+	var flags byte
+	if o.FailSignal {
+		flags |= obFlagFailSignal
+	}
+	if o.DigestOnly {
+		flags |= obFlagDigestOnly
+	}
+	w.U8(flags)
 	w.Bytes32(o.Output)
 	return w.Bytes()
 }
@@ -91,10 +115,16 @@ func (o OutputBody) Marshal() []byte {
 // UnmarshalOutputBody decodes an OutputBody.
 func UnmarshalOutputBody(b []byte) (OutputBody, error) {
 	r := codec.NewReader(b)
-	o := OutputBody{Source: r.String(), Seq: r.U64(), FailSignal: r.Bool()}
+	o := OutputBody{Source: r.String(), Seq: r.U64()}
+	flags := r.U8()
+	o.FailSignal = flags&obFlagFailSignal != 0
+	o.DigestOnly = flags&obFlagDigestOnly != 0
 	o.Output = r.Bytes32()
 	if err := r.Finish(); err != nil {
 		return OutputBody{}, fmt.Errorf("failsignal: decoding output body: %w", err)
+	}
+	if flags&^(obFlagFailSignal|obFlagDigestOnly) != 0 {
+		return OutputBody{}, fmt.Errorf("failsignal: output body with unknown flags %#x", flags)
 	}
 	return o, nil
 }
@@ -104,8 +134,9 @@ type newPayload struct {
 	tag    byte
 	env    sig.Envelope // tagClient
 	client ClientInput  // tagClient
-	dbl    sig.Double   // tagFS
-	body   OutputBody   // tagFS
+	dbl    sig.Double   // tagFS, tagFSD
+	body   OutputBody   // tagFS, tagFSD
+	full   []byte       // tagFSD: the full output bytes the body's digest pins
 	tick   time.Time    // tagTick
 }
 
@@ -122,6 +153,18 @@ func encodeFSPayload(dbl sig.Double) []byte {
 	w := codec.NewWriter(len(dbl.Body) + len(dbl.Sig) + len(dbl.SecondSig) + 48)
 	w.U8(tagFS)
 	dbl.Encode(w)
+	return w.Bytes()
+}
+
+// encodeFSDigestPayload wraps a double-signed digest-only output plus the
+// full output bytes its digest pins. The signatures cover only the small
+// digest body; the receiver rehashes full and refuses a mismatch, so the
+// full bytes are exactly as tamper-evident as if they were signed directly.
+func encodeFSDigestPayload(dbl sig.Double, full []byte) []byte {
+	w := codec.NewWriter(len(dbl.Body) + len(dbl.Sig) + len(dbl.SecondSig) + len(full) + 56)
+	w.U8(tagFSD)
+	dbl.Encode(w)
+	w.Bytes32(full)
 	return w.Bytes()
 }
 
@@ -159,10 +202,32 @@ func decodeNewPayload(b []byte) (newPayload, error) {
 		if err != nil {
 			return newPayload{}, err
 		}
+		if p.body.DigestOnly {
+			// A digest-only body must arrive with its full bytes (tagFSD);
+			// alone it names content it does not carry.
+			return newPayload{}, fmt.Errorf("failsignal: digest-only body without its output")
+		}
 	case tagTick:
 		p.tick = r.Time()
 		if err := r.Finish(); err != nil {
 			return newPayload{}, fmt.Errorf("failsignal: decoding tick payload: %w", err)
+		}
+	case tagFSD:
+		p.dbl = sig.DecodeDouble(r)
+		p.full = r.Bytes32()
+		if err := r.Finish(); err != nil {
+			return newPayload{}, fmt.Errorf("failsignal: decoding FS digest payload: %w", err)
+		}
+		var err error
+		p.body, err = UnmarshalOutputBody(p.dbl.Body)
+		if err != nil {
+			return newPayload{}, err
+		}
+		if !p.body.DigestOnly || p.body.FailSignal {
+			return newPayload{}, fmt.Errorf("failsignal: digest payload with non-digest body")
+		}
+		if d := sig.Digest(p.full); string(d[:]) != string(p.body.Output) {
+			return newPayload{}, fmt.Errorf("failsignal: digest payload body does not match its digest")
 		}
 	default:
 		return newPayload{}, fmt.Errorf("failsignal: unknown payload tag %d", p.tag)
@@ -176,7 +241,7 @@ func (p newPayload) dedupeKey() (string, bool) {
 	switch p.tag {
 	case tagClient:
 		return fmt.Sprintf("c|%s|%d", p.client.Client, p.client.Seq), true
-	case tagFS:
+	case tagFS, tagFSD:
 		if p.body.FailSignal {
 			return "fsig|" + p.body.Source, true
 		}
@@ -186,16 +251,26 @@ func (p newPayload) dedupeKey() (string, bool) {
 	}
 }
 
+// outputBytes returns the sm.MarshalOutput encoding a verified FS payload
+// carries: the signed body's own bytes for tagFS, the digest-pinned full
+// bytes for tagFSD.
+func (p newPayload) outputBytes() []byte {
+	if p.tag == tagFSD {
+		return p.full
+	}
+	return p.body.Output
+}
+
 // toInput converts a verified payload into the sm.Input the machine sees.
 func (p newPayload) toInput() sm.Input {
 	switch p.tag {
 	case tagClient:
 		return sm.Input{Kind: p.client.Kind, From: p.client.Client, Payload: p.client.Body}
-	case tagFS:
+	case tagFS, tagFSD:
 		if p.body.FailSignal {
 			return sm.Input{Kind: InputFailSignal, From: p.body.Source}
 		}
-		out, err := sm.UnmarshalOutput(p.body.Output)
+		out, err := sm.UnmarshalOutput(p.outputBytes())
 		if err != nil {
 			// Verified content that fails to decode can only happen if the
 			// sender pair double-signed garbage; surface it as an opaque

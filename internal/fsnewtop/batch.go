@@ -1,0 +1,218 @@
+package fsnewtop
+
+import (
+	"time"
+
+	"fsnewtop/internal/group"
+	"fsnewtop/internal/trace"
+)
+
+// BatchConfig bounds the invocation-layer accumulation window: the
+// interceptor coalesces multicast submissions made within one window into
+// a single KindBatch input, so the pair pays one order/sign/compare round
+// — and the wire one framed message per hop — for the whole run.
+//
+// The window is clocked by the pipe itself, group-commit style: a
+// multicast with no round of this member's own in flight goes out
+// immediately (an idle member pays zero added latency), while traffic
+// behind an in-flight round accumulates and flushes the instant that
+// round's own delivery returns. Batch size therefore tracks the backlog
+// the ordering pipeline actually built up — light load never batches,
+// saturating load batches as hard as the caps allow — with no rate
+// tuning.
+type BatchConfig struct {
+	// Enabled turns the window (and the GC machine's output coalescing)
+	// on. Off by default: every wire schedule then stays byte-identical
+	// to the pre-batch-plane system, which is what keeps the pinned chaos
+	// corpus and virtual-time parity suites meaningful.
+	Enabled bool
+	// MaxMsgs caps the multicasts coalesced into one batch (0 = 128).
+	MaxMsgs int
+	// MaxBytes caps a batch's summed payload bytes (0 = 1 MiB). The
+	// defaults sit at the knee of the throughput curve for large (10 KiB)
+	// payloads on the simulated substrate: halving them costs measurable
+	// ceiling, doubling them buys almost none and only stretches the
+	// per-round payload the pair must sign and ship.
+	MaxBytes int
+	// MaxDelay bounds how long an open window may wait when no round is
+	// in flight (0 = 2ms) — a backstop for the normal flush-on-return
+	// path, not the pacing clock. While a round is in flight the window
+	// may hold up to max(MaxDelay, δ): a round that takes longer than δ
+	// means the pair itself is stalled, at which point the window is
+	// forced open rather than trusting a return that may never come.
+	MaxDelay time.Duration
+}
+
+func (b *BatchConfig) fillDefaults() {
+	if b.MaxMsgs == 0 {
+		b.MaxMsgs = 128
+	}
+	if b.MaxBytes == 0 {
+		b.MaxBytes = 1 << 20
+	}
+	if b.MaxDelay == 0 {
+		b.MaxDelay = 2 * time.Millisecond
+	}
+}
+
+// submitGC routes one intercepted GC-bound call through the accumulation
+// window. Multicasts may coalesce; any other method flushes the window
+// first and goes out directly, so submission order is preserved across
+// kinds (a join never overtakes the multicasts queued before it, nor vice
+// versa).
+func (n *NSO) submitGC(method string, payload []byte) error {
+	n.bmu.Lock()
+	defer n.bmu.Unlock()
+	if n.bclosed {
+		return nil
+	}
+	if method != group.KindMcast {
+		n.flushLocked()
+		return n.sendLocked(method, payload)
+	}
+	// Group-commit rule: with nothing pending and no round of our own in
+	// flight, the pipe is idle — submit now, zero added latency. While a
+	// round is in flight, accumulate: noteOwnDeliver flushes the window
+	// the moment that round returns, so the batch carries exactly the
+	// backlog the pipeline built up while ordering its predecessor.
+	if len(n.bpending) == 0 && n.binflight == 0 {
+		return n.sendLocked(method, payload)
+	}
+	if len(n.bpending) == 0 {
+		n.bwindow = n.bclk.Now()
+	}
+	n.bpending = append(n.bpending, group.BatchItem{Kind: method, Payload: payload})
+	n.bbytes += len(payload)
+	if len(n.bpending) >= n.bcfg.MaxMsgs || n.bbytes >= n.bcfg.MaxBytes {
+		return n.flushLocked()
+	}
+	// Wake the flush loop so it arms (or re-arms) the MaxDelay timer.
+	select {
+	case n.bwake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flushWindow flushes any pending batch immediately. Called when a
+// fail-signal arrives mid-window: suspicion processing must not wait out
+// MaxDelay behind coalesced application traffic.
+func (n *NSO) flushWindow() {
+	n.bmu.Lock()
+	n.flushLocked()
+	n.bmu.Unlock()
+}
+
+// flushLocked submits the pending window as one input: a single-item
+// window goes out as the plain multicast it would have been, a longer one
+// as a KindBatch envelope. Caller holds n.bmu.
+func (n *NSO) flushLocked() error {
+	if len(n.bpending) == 0 {
+		return nil
+	}
+	items := n.bpending
+	n.bpending = nil
+	n.bbytes = 0
+	if len(items) == 1 {
+		return n.sendLocked(items[0].Kind, items[0].Payload)
+	}
+	if err := n.sendLocked(group.KindBatch, group.BatchMsg{Items: items}.Marshal()); err != nil {
+		return err
+	}
+	n.binflight += len(items)
+	return nil
+}
+
+// sendLocked signs and submits one input to both pair halves, recording
+// the reissue in the invocation trace. Caller holds n.bmu, which is what
+// keeps the client's sequence numbers in submission order.
+func (n *NSO) sendLocked(kind string, payload []byte) error {
+	seq, err := n.client.SendSeq(n.name, kind, payload)
+	if err != nil {
+		return err
+	}
+	if kind == group.KindMcast {
+		n.binflight++
+	}
+	n.invRing.Emit(trace.EvReissue, seq, 0, kind)
+	return nil
+}
+
+// noteOwnDeliver records the return of one of this member's own
+// multicasts. When the last outstanding message is back the pipe is idle
+// and whatever accumulated behind the round flushes immediately — the
+// group-commit clock that paces batched submission to the pair's actual
+// ordering rate.
+func (n *NSO) noteOwnDeliver() {
+	n.bmu.Lock()
+	if n.binflight > 0 {
+		n.binflight--
+	}
+	if n.binflight == 0 && len(n.bpending) > 0 {
+		n.flushLocked()
+	}
+	n.bmu.Unlock()
+}
+
+// flushLoop enforces the window's backstop deadline: the normal flush is
+// noteOwnDeliver's, but a window must never wait on a return that cannot
+// come. With no round in flight MaxDelay bounds the wait outright; with
+// one in flight the bound stretches to δ — a round slower than the pair's
+// own synchrony bound means the pair is stalled (and about to fail-signal
+// anyway), so the window is forced open and the in-flight count reset
+// rather than trusting the lost round's bookkeeping. Submissions that hit
+// a size cap flush inline and simply leave the loop nothing to do.
+func (n *NSO) flushLoop() {
+	defer close(n.bdone)
+	for {
+		n.bmu.Lock()
+		var wait time.Duration
+		armed := false
+		if len(n.bpending) > 0 {
+			bound := n.bcfg.MaxDelay
+			if n.binflight > 0 && n.bdelta > bound {
+				bound = n.bdelta
+			}
+			wait = n.bwindow.Add(bound).Sub(n.bclk.Now())
+			if wait <= 0 {
+				n.binflight = 0
+				n.flushLocked()
+				n.bmu.Unlock()
+				continue
+			}
+			armed = true
+		}
+		n.bmu.Unlock()
+		if armed {
+			t := n.bclk.NewTimer(wait)
+			select {
+			case <-n.bstop:
+				t.Stop()
+				return
+			case <-n.bwake:
+				t.Stop()
+			case <-t.C():
+			}
+		} else {
+			select {
+			case <-n.bstop:
+				return
+			case <-n.bwake:
+			}
+		}
+	}
+}
+
+// stopBatching shuts the flush loop down and flushes any remainder, so a
+// clean Close does not strand accepted submissions in the window.
+func (n *NSO) stopBatching() {
+	if n.bstop == nil {
+		return
+	}
+	n.bmu.Lock()
+	n.flushLocked()
+	n.bclosed = true
+	n.bmu.Unlock()
+	close(n.bstop)
+	<-n.bdone
+}

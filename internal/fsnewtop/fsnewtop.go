@@ -169,6 +169,14 @@ type Config struct {
 	StrictDeadlines bool
 	// PoolSize is the invocation-side ORB pool size (0 = default 10).
 	PoolSize int
+	// Batch configures the invocation-layer accumulation window and, when
+	// enabled, also turns on the GC machine's output coalescing — the two
+	// halves of the batch plane. Off by default (wire-identical schedules).
+	Batch BatchConfig
+	// DigestCompareMin, when positive, makes the pair compare outputs of
+	// at least this encoded size by digest instead of by body; see
+	// failsignal.ReplicaConfig.DigestCompareMin. 0 = full-body compare.
+	DigestCompareMin int
 	// GC tunes the protocol machine. Self and Mode are set here.
 	GC group.Config
 	// OnFailSignal observes this pair's own failure (test hook).
@@ -191,9 +199,27 @@ type NSO struct {
 	pair       *failsignal.Pair
 	client     *failsignal.Client
 	verifiers  []*sig.CachedVerifier // this member's node memos, released on Close
+	invRing    *trace.Ring
 	deliveries chan newtop.Delivery
 	views      chan newtop.View
 	failures   chan string
+
+	// Accumulation-window state (nil/zero unless Config.Batch.Enabled).
+	bcfg     BatchConfig
+	bclk     clock.Clock
+	bdelta   time.Duration // pair δ: the in-flight backstop bound
+	bmu      sync.Mutex
+	bpending []group.BatchItem
+	bbytes   int
+	bwindow  time.Time // when the open window's first message arrived
+	// binflight counts this member's own multicasts submitted to the pair
+	// whose own-origin delivery has not yet come back: the group-commit
+	// clock (see noteOwnDeliver).
+	binflight int
+	bclosed   bool
+	bwake     chan struct{}
+	bstop     chan struct{}
+	bdone     chan struct{}
 }
 
 var _ newtop.Service = (*NSO)(nil)
@@ -275,6 +301,7 @@ func New(cfg Config) (*NSO, error) {
 	if fab.Trace != nil {
 		invRing = fab.Trace.Ring(inv)
 	}
+	n.invRing = invRing
 	// The invocation layer runs on the application node: its own memo.
 	receiver := failsignal.NewReceiver(fab.Dir, newVerifier(), n.onOutput, n.onFailSignal)
 	receiver.SetTrace(invRing)
@@ -291,31 +318,42 @@ func New(cfg Config) (*NSO, error) {
 	n.client = failsignal.NewClient(inv, invAddr, invSigner, fab.Net, fab.Dir)
 
 	// The GC machine: identical to crash NewTOP's, with the fail-signal
-	// suspector selected.
+	// suspector selected. The batch plane enables its output coalescing
+	// alongside the window, so a batched input also leaves as batched
+	// outputs rather than fanning back out into per-message FS rounds.
 	gcCfg := cfg.GC
 	gcCfg.Self = cfg.Name
 	gcCfg.Mode = group.SuspectFailSignal
+	if cfg.Batch.Enabled {
+		cfg.Batch.fillDefaults()
+		gcCfg.Batch = group.BatchConfig{
+			Enabled:  true,
+			MaxItems: cfg.Batch.MaxMsgs,
+			MaxBytes: cfg.Batch.MaxBytes,
+		}
+	}
 
 	pair, err := failsignal.NewPair(failsignal.PairConfig{
-		Name:            cfg.Name,
-		NewMachine:      func() sm.Machine { return group.New(gcCfg) },
-		WrapMachine:     cfg.WrapMachine,
-		Net:             fab.Net,
-		Clock:           clk,
-		Dir:             fab.Dir,
-		Keys:            fab.Keys,
-		NewSigner:       newSigner,
-		NewVerifier:     func() sig.Verifier { return newVerifier() },
-		Delta:           cfg.Delta,
-		Kappa:           cfg.Kappa,
-		Sigma:           cfg.Sigma,
-		TickInterval:    cfg.TickInterval,
-		StrictDeadlines: cfg.StrictDeadlines,
-		LocalName:       inv,
-		Watchers:        cfg.Peers,
-		SyncLink:        cfg.SyncLink,
-		OnFailSignal:    cfg.OnFailSignal,
-		Trace:           fab.Trace,
+		Name:             cfg.Name,
+		NewMachine:       func() sm.Machine { return group.New(gcCfg) },
+		WrapMachine:      cfg.WrapMachine,
+		Net:              fab.Net,
+		Clock:            clk,
+		Dir:              fab.Dir,
+		Keys:             fab.Keys,
+		NewSigner:        newSigner,
+		NewVerifier:      func() sig.Verifier { return newVerifier() },
+		Delta:            cfg.Delta,
+		Kappa:            cfg.Kappa,
+		Sigma:            cfg.Sigma,
+		TickInterval:     cfg.TickInterval,
+		StrictDeadlines:  cfg.StrictDeadlines,
+		DigestCompareMin: cfg.DigestCompareMin,
+		LocalName:        inv,
+		Watchers:         cfg.Peers,
+		SyncLink:         cfg.SyncLink,
+		OnFailSignal:     cfg.OnFailSignal,
+		Trace:            fab.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -343,6 +381,14 @@ func New(cfg Config) (*NSO, error) {
 			if req.Target != gcRef {
 				return next(req)
 			}
+			if cfg.Batch.Enabled {
+				// The accumulation window owns submission (and with it the
+				// client's sequence order); it reissues inline or batched.
+				if err := n.submitGC(req.Method, req.Arg.Bytes()); err != nil {
+					return orb.Reply{Err: err.Error()}
+				}
+				return orb.Reply{}
+			}
 			seq, err := n.client.SendSeq(cfg.Name, req.Method, req.Arg.Bytes())
 			if err != nil {
 				// No reissue event: recording a submission that never
@@ -355,6 +401,15 @@ func New(cfg Config) (*NSO, error) {
 		}
 	})
 	n.orb = o
+	if cfg.Batch.Enabled {
+		n.bcfg = cfg.Batch
+		n.bclk = clk
+		n.bdelta = cfg.Delta
+		n.bwake = make(chan struct{}, 1)
+		n.bstop = make(chan struct{})
+		n.bdone = make(chan struct{})
+		go n.flushLoop()
+	}
 	built = true
 	return n, nil
 }
@@ -362,21 +417,44 @@ func New(cfg Config) (*NSO, error) {
 // onOutput receives one verified, de-duplicated FS output addressed to the
 // invocation layer and converts it back into an application event.
 func (n *NSO) onOutput(source string, out sm.Output) {
-	switch out.Kind {
+	n.onEvent(out.Kind, out.Payload, 0)
+}
+
+// onEvent converts one application event, unpacking a coalesced KindBatch
+// envelope one level deep: with the batch plane on, a run of deliveries
+// reaches the invocation layer as a single FS output.
+func (n *NSO) onEvent(kind string, payload []byte, depth int) {
+	switch kind {
 	case group.KindDeliver:
-		if d, err := group.UnmarshalDeliver(out.Payload); err == nil {
+		if d, err := group.UnmarshalDeliver(payload); err == nil {
+			if n.bstop != nil && d.Origin == n.name {
+				n.noteOwnDeliver()
+			}
 			n.deliveries <- newtop.Delivery{Group: d.Group, Origin: d.Origin, Service: d.Service, Payload: d.Payload}
 		}
 	case group.KindView:
-		if v, err := group.UnmarshalViewNote(out.Payload); err == nil {
+		if v, err := group.UnmarshalViewNote(payload); err == nil {
 			n.views <- newtop.View{Group: v.Group, ViewID: v.ViewID, Members: v.Members}
+		}
+	case group.KindBatch:
+		if depth == 0 {
+			if bm, err := group.UnmarshalBatchMsg(payload); err == nil {
+				for _, it := range bm.Items {
+					n.onEvent(it.Kind, it.Payload, depth+1)
+				}
+			}
 		}
 	}
 }
 
 // onFailSignal surfaces a fail-signal (usually our own pair's: the
 // invocation layer is in its LocalName destinations) to the application.
+// An open accumulation window is flushed first: whatever reaction the
+// application has to the failure must not queue behind MaxDelay.
 func (n *NSO) onFailSignal(source string) {
+	if n.bstop != nil {
+		n.flushWindow()
+	}
 	select {
 	case n.failures <- source:
 	default:
@@ -427,6 +505,7 @@ func (n *NSO) Pair() *failsignal.Pair { return n.pair }
 
 // Close implements newtop.Service.
 func (n *NSO) Close() {
+	n.stopBatching()
 	n.orb.Close()
 	n.pair.Close()
 	n.fab.dropVerifiers(n.verifiers)

@@ -114,18 +114,32 @@ func (d *Driver) dispatch(outs []sm.Output) {
 				d.cfg.Send(to, out.Kind, out.Payload)
 				continue
 			}
-			switch out.Kind {
-			case KindDeliver:
-				if d.cfg.OnDeliver != nil {
-					if del, err := UnmarshalDeliver(out.Payload); err == nil {
-						d.cfg.OnDeliver(del)
-					}
-				}
-			case KindView:
-				if d.cfg.OnView != nil {
-					if vn, err := UnmarshalViewNote(out.Payload); err == nil {
-						d.cfg.OnView(vn)
-					}
+			d.dispatchLocal(out.Kind, out.Payload, 0)
+		}
+	}
+}
+
+// dispatchLocal hands one local output to the application callbacks,
+// unpacking coalesced batches one level deep (see coalesceOutputs).
+func (d *Driver) dispatchLocal(kind string, payload []byte, depth int) {
+	switch kind {
+	case KindDeliver:
+		if d.cfg.OnDeliver != nil {
+			if del, err := UnmarshalDeliver(payload); err == nil {
+				d.cfg.OnDeliver(del)
+			}
+		}
+	case KindView:
+		if d.cfg.OnView != nil {
+			if vn, err := UnmarshalViewNote(payload); err == nil {
+				d.cfg.OnView(vn)
+			}
+		}
+	case KindBatch:
+		if depth == 0 {
+			if bm, err := UnmarshalBatchMsg(payload); err == nil {
+				for _, it := range bm.Items {
+					d.dispatchLocal(it.Kind, it.Payload, depth+1)
 				}
 			}
 		}

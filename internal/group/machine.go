@@ -44,6 +44,10 @@ type Config struct {
 	// handoffs). Tracing never influences outputs, so two replicas of one
 	// machine stay output-identical (R1) regardless of their rings.
 	Trace *trace.Ring
+	// Batch configures output coalescing (the batch plane); the zero
+	// value leaves it off and the output stream byte-identical to the
+	// unbatched machine's.
+	Batch BatchConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -128,6 +132,24 @@ func (m *Machine) Step(in sm.Input) []sm.Output {
 	if in.From != "" && in.From != m.cfg.Self {
 		m.lastHeard[in.From] = m.now
 	}
+	m.dispatch(in, 0)
+	if len(m.outs) == 0 {
+		return nil
+	}
+	outs := m.outs
+	if m.cfg.Batch.Enabled {
+		outs = coalesceOutputs(outs, m.cfg.Batch)
+	}
+	out := make([]sm.Output, len(outs))
+	copy(out, outs)
+	return out
+}
+
+// dispatch routes one input to its handler, appending effects to m.outs.
+// depth guards batch recursion: a batch's items are dispatched at depth 1,
+// where a nested KindBatch is refused — one level is all the batch plane
+// ever produces, and the bound keeps a malformed batch from recursing.
+func (m *Machine) dispatch(in sm.Input, depth int) {
 	switch in.Kind {
 	case sm.TickKind:
 		if t, err := sm.DecodeTick(in.Payload); err == nil {
@@ -205,13 +227,15 @@ func (m *Machine) Step(in sm.Input) []sm.Output {
 		if m.cfg.Mode == SuspectFailSignal && in.From != "" {
 			m.suspectEverywhere(in.From)
 		}
+	case KindBatch:
+		if depth == 0 {
+			if bm, err := UnmarshalBatchMsg(in.Payload); err == nil {
+				for _, it := range bm.Items {
+					m.dispatch(sm.Input{Kind: it.Kind, From: in.From, Payload: it.Payload}, depth+1)
+				}
+			}
+		}
 	}
-	if len(m.outs) == 0 {
-		return nil
-	}
-	out := make([]sm.Output, len(m.outs))
-	copy(out, m.outs)
-	return out
 }
 
 // Groups returns the names of joined groups, sorted. Read-only inspection

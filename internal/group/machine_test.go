@@ -32,6 +32,12 @@ type routed struct {
 }
 
 func newTCluster(t *testing.T, mode SuspectorMode, names ...string) *tCluster {
+	return newTClusterBatch(t, mode, BatchConfig{}, names...)
+}
+
+// newTClusterBatch builds a cluster whose machines run with the given
+// batch configuration (zero value = batching off).
+func newTClusterBatch(t *testing.T, mode SuspectorMode, batch BatchConfig, names ...string) *tCluster {
 	t.Helper()
 	c := &tCluster{
 		t:         t,
@@ -43,7 +49,7 @@ func newTCluster(t *testing.T, mode SuspectorMode, names ...string) *tCluster {
 		now:       time.Date(2003, 6, 23, 0, 0, 0, 0, time.UTC),
 	}
 	for _, n := range names {
-		c.machines[n] = New(Config{Self: n, Mode: mode})
+		c.machines[n] = New(Config{Self: n, Mode: mode, Batch: batch})
 		// Baseline tick so liveness tracking starts at a real instant
 		// rather than the zero time.
 		c.submit(n, sm.Tick(c.now))
@@ -58,23 +64,36 @@ func (c *tCluster) submit(self string, in sm.Input) {
 	for _, out := range outs {
 		for _, to := range out.To {
 			if to == sm.LocalDelivery {
-				switch out.Kind {
-				case KindDeliver:
-					d, err := UnmarshalDeliver(out.Payload)
-					if err != nil {
-						c.t.Fatalf("bad deliver payload: %v", err)
-					}
-					c.delivered[self] = append(c.delivered[self], d)
-				case KindView:
-					v, err := UnmarshalViewNote(out.Payload)
-					if err != nil {
-						c.t.Fatalf("bad view payload: %v", err)
-					}
-					c.views[self] = append(c.views[self], v)
-				}
+				c.handleLocal(self, out.Kind, out.Payload)
 				continue
 			}
 			c.queue = append(c.queue, routed{from: self, to: to, kind: out.Kind, payload: out.Payload})
+		}
+	}
+}
+
+// handleLocal records one local delivery, unpacking coalesced batches.
+func (c *tCluster) handleLocal(self, kind string, payload []byte) {
+	switch kind {
+	case KindDeliver:
+		d, err := UnmarshalDeliver(payload)
+		if err != nil {
+			c.t.Fatalf("bad deliver payload: %v", err)
+		}
+		c.delivered[self] = append(c.delivered[self], d)
+	case KindView:
+		v, err := UnmarshalViewNote(payload)
+		if err != nil {
+			c.t.Fatalf("bad view payload: %v", err)
+		}
+		c.views[self] = append(c.views[self], v)
+	case KindBatch:
+		bm, err := UnmarshalBatchMsg(payload)
+		if err != nil {
+			c.t.Fatalf("bad batch payload: %v", err)
+		}
+		for _, it := range bm.Items {
+			c.handleLocal(self, it.Kind, it.Payload)
 		}
 	}
 }

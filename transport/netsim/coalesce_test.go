@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsnewtop/internal/clock"
+)
+
+// TestCoalescingModelSharesFrameLatency pins the rider math: messages
+// sent while their link has pending traffic share the forming frame's
+// latency draw and pay only their own serialization time, so a burst of
+// k payloads delivers at latency + i*ser (i = 1..k), not k independent
+// latency draws — and the whole burst counts as one modeled frame.
+func TestCoalescingModelSharesFrameLatency(t *testing.T) {
+	const (
+		lat  = 10 * time.Millisecond
+		bps  = 1 << 20
+		size = 1 << 10 // 1 KiB => ser is ~1/1024 s at 1 MiB/s
+		k    = 10
+	)
+	ser := Profile{BytesPerSecond: bps}.SerializationFor(size)
+
+	v := clock.NewVirtual()
+	defer v.Stop()
+	n := New(v, WithShards(1), WithCoalescing(), WithDefaultProfile(Profile{
+		Latency:        Fixed(lat),
+		BytesPerSecond: bps,
+	}))
+	defer n.Close()
+
+	epoch := v.Now()
+	var (
+		mu  sync.Mutex
+		ats []time.Duration
+	)
+	done := make(chan struct{})
+	n.Register("b", func(m Message) {
+		mu.Lock()
+		ats = append(ats, v.Now().Sub(epoch))
+		if len(ats) == k {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n.Register("a", func(Message) {})
+
+	v.Busy() // script the whole burst at one virtual instant
+	for i := 0; i < k; i++ {
+		if err := n.Send("a", "b", "data", make([]byte, size)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	v.Done()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("burst stalled: %d/%d deliveries", len(ats), k)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, at := range ats {
+		want := lat + time.Duration(i+1)*ser
+		if at != want {
+			t.Fatalf("delivery %d at %v, want %v (shared latency + own serialization)", i, at, want)
+		}
+	}
+	if f := n.FramesSent(); f != 1 {
+		t.Fatalf("burst of %d crossed in %d modeled frames, want 1", k, f)
+	}
+	if s := n.Stats(); s.Delivered != k {
+		t.Fatalf("Delivered = %d, want %d", s.Delivered, k)
+	}
+}
+
+// TestFramesEqualMessagesWithoutCoalescing pins the default: with the
+// model off, every message is its own frame, so the amortization factor
+// reads exactly 1 and seeded schedules are untouched.
+func TestFramesEqualMessagesWithoutCoalescing(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	n := New(v, WithShards(1), WithDefaultProfile(Profile{Latency: Fixed(time.Millisecond)}))
+	defer n.Close()
+
+	const k = 7
+	done := make(chan struct{})
+	var got int
+	var mu sync.Mutex
+	n.Register("b", func(Message) {
+		mu.Lock()
+		if got++; got == k {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n.Register("a", func(Message) {})
+	for i := 0; i < k; i++ {
+		if err := n.Send("a", "b", "data", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deliveries stalled")
+	}
+	if f := n.FramesSent(); f != k {
+		t.Fatalf("FramesSent = %d, want %d (one frame per message)", f, k)
+	}
+}
+
+// TestCoalescingModelCapsFrames drives one link far past the frame caps
+// and checks the model splits frames where tcpnet's writer would.
+func TestCoalescingModelCapsFrames(t *testing.T) {
+	v := clock.NewVirtual()
+	defer v.Stop()
+	n := New(v, WithShards(1), WithCoalescing(), WithDefaultProfile(Profile{Latency: Fixed(time.Millisecond)}))
+	defer n.Close()
+
+	const k = coalesceMaxMsgs*2 + 5
+	done := make(chan struct{})
+	var got int
+	var mu sync.Mutex
+	n.Register("b", func(Message) {
+		mu.Lock()
+		if got++; got == k {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n.Register("a", func(Message) {})
+	v.Busy()
+	for i := 0; i < k; i++ {
+		if err := n.Send("a", "b", "data", []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Done()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deliveries stalled")
+	}
+	if f := n.FramesSent(); f != 3 {
+		t.Fatalf("%d messages over a cap of %d crossed in %d frames, want 3", k, coalesceMaxMsgs, f)
+	}
+}
+
+// TestVirtualTrajectoryDeterministicCoalesced extends the seeded-replay
+// guarantee to the coalescing model: rider decisions are a function of
+// queue state, which under one shard and a virtual clock is a function of
+// the seed alone.
+func TestVirtualTrajectoryDeterministicCoalesced(t *testing.T) {
+	first := virtualTrajectory(t, 42, WithCoalescing())
+	for run := 0; run < 3; run++ {
+		if again := virtualTrajectory(t, 42, WithCoalescing()); again != first {
+			t.Fatalf("same seed produced different coalesced trajectories:\n--- run 0\n%s\n--- run %d\n%s", first, run+1, again)
+		}
+	}
+	if plain := virtualTrajectory(t, 42); plain == first {
+		t.Fatal("coalescing changed no delivery timing; the model is inert")
+	}
+}

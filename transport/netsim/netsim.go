@@ -133,9 +133,10 @@ type Network struct {
 	reg   atomic.Pointer[registry]
 	regMu sync.Mutex // serializes registry clone-and-swap
 
-	shards  []*shard
-	seed    int64
-	nshards int
+	shards   []*shard
+	seed     int64
+	nshards  int
+	coalesce bool
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -162,6 +163,18 @@ func WithSeed(seed int64) Option {
 // single total delivery order.
 func WithShards(count int) Option {
 	return func(n *Network) { n.nshards = count }
+}
+
+// WithCoalescing models tcpnet's multi-message frames: a message sent
+// while its link still has pending traffic rides the pending frame —
+// sharing that frame's propagation latency instead of drawing its own,
+// paying only its serialization time — until the frame reaches the same
+// message/byte caps tcpnet's writer uses, whereupon the next message
+// starts a fresh frame with a fresh latency draw. Off by default, so
+// existing seeded schedules are untouched. FramesSent reports how many
+// frames the model produced.
+func WithCoalescing() Option {
+	return func(n *Network) { n.coalesce = true }
 }
 
 // New creates a network driven by clk.
@@ -289,6 +302,18 @@ func (n *Network) Partition(groups ...[]Addr) {
 	})
 }
 
+// FramesSent returns how many modeled wire frames the network produced.
+// Without WithCoalescing every message is its own frame; with it, the
+// messages-per-frame ratio is the modeled amortization factor — the
+// simulator-side analogue of tcpnet's FramesSent.
+func (n *Network) FramesSent() uint64 {
+	var f uint64
+	for _, sh := range n.shards {
+		f += sh.frames.Load()
+	}
+	return f
+}
+
 // Stats returns a snapshot of the network counters, merged across shards.
 func (n *Network) Stats() Stats {
 	var s Stats
@@ -378,7 +403,8 @@ func (n *Network) Send(from, to Addr, kind string, payload []byte) error {
 		return nil
 	}
 	delay := prof.DelayFor(len(payload), sh.rng)
-	wake := sh.scheduleLocked(key, Message{From: from, To: to, Kind: kind, Payload: payload}, now, delay)
+	ser := prof.SerializationFor(len(payload))
+	wake := sh.scheduleLocked(key, Message{From: from, To: to, Kind: kind, Payload: payload}, now, delay, ser)
 	sh.mu.Unlock()
 	if wake {
 		sh.wakeup()

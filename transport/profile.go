@@ -63,8 +63,16 @@ func (p Profile) DelayFor(n int, r *rand.Rand) time.Duration {
 	if p.Latency != nil {
 		d = p.Latency.Delay(r)
 	}
-	if p.BytesPerSecond > 0 {
-		d += time.Duration(float64(n) / float64(p.BytesPerSecond) * float64(time.Second))
+	return d + p.SerializationFor(n)
+}
+
+// SerializationFor returns only the bandwidth component of DelayFor: the
+// time n bytes occupy the pipe. Backends that model frame coalescing use
+// it for messages riding an already-delayed frame — the extra bytes still
+// serialize, but pay no fresh propagation latency.
+func (p Profile) SerializationFor(n int) time.Duration {
+	if p.BytesPerSecond <= 0 {
+		return 0
 	}
-	return d
+	return time.Duration(float64(n) / float64(p.BytesPerSecond) * float64(time.Second))
 }

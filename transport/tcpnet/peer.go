@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"fsnewtop/transport"
 )
 
 // maxQueuedFrames bounds one peer's outbound queue: past it, new frames
@@ -22,6 +24,30 @@ const maxQueuedFrames = 1 << 17
 // per second while the queue piles up.
 const redialBackoff = time.Second
 
+// coalesceMaxMsgs and coalesceMaxBytes cap one coalesced frame. The byte
+// cap keeps a batch frame comfortably under MaxFrame (a single oversized
+// message forms a run of one and travels as a legacy frame, which Send
+// already size-checked); the message cap bounds how much one corrupt
+// frame can take down with it.
+const (
+	coalesceMaxMsgs  = 64
+	coalesceMaxBytes = 64 << 10
+)
+
+// outEntry is one queued message awaiting the writer. Exactly one of
+// frame/item is set: frame is a fully-encoded single-message frame
+// (coalescing off; its seq is stamped in place at enqueue), item is the
+// encoded kind+payload segment of a coalescable message (coalescing on;
+// the frame header is written at drain time, when the writer knows the
+// run it belongs to).
+type outEntry struct {
+	frame []byte
+	item  []byte
+	from  transport.Addr
+	to    transport.Addr
+	seq   uint64
+}
+
 // peer owns the outbound side of one remote endpoint: a FIFO frame queue
 // drained by a single writer goroutine over one lazily-dialed TCP
 // connection. Serializing every link to that endpoint through one writer
@@ -32,7 +58,7 @@ type peer struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    [][]byte
+	queue    []outEntry
 	seq      uint64 // last sequence number stamped, guarded by mu
 	closed   bool
 	nextDial time.Time // dials suppressed until then, guarded by mu
@@ -63,7 +89,28 @@ func (p *peer) enqueue(frame []byte) {
 	}
 	p.seq++
 	binary.BigEndian.PutUint64(frame[seqOffset:], p.seq)
-	p.queue = append(p.queue, frame)
+	p.queue = append(p.queue, outEntry{frame: frame})
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// enqueueItem appends one coalescable message (coalescing mode). The
+// sequence number is assigned here, under the same lock and counter the
+// frame path uses, so seq order still equals wire order regardless of how
+// the writer later groups the entries into frames.
+func (p *peer) enqueueItem(from, to transport.Addr, item []byte) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if len(p.queue) >= maxQueuedFrames {
+		p.mu.Unlock()
+		p.t.dropped.Add(1)
+		return
+	}
+	p.seq++
+	p.queue = append(p.queue, outEntry{item: item, from: from, to: to, seq: p.seq})
 	p.mu.Unlock()
 	p.cond.Signal()
 }
@@ -102,14 +149,56 @@ func (p *peer) run() {
 			p.mu.Unlock()
 			return
 		}
-		batch := p.queue
+		entries := p.queue
 		p.queue = nil
 		p.mu.Unlock()
 
-		if dropped := p.writeBatch(batch); dropped > 0 {
+		bufs, counts := p.pack(entries)
+		if dropped := p.writeBatch(bufs, counts); dropped > 0 {
 			p.t.dropped.Add(uint64(dropped))
 		}
 	}
+}
+
+// pack turns drained queue entries into wire frames. Pre-encoded frames
+// (coalescing off) pass through untouched; coalescable entries are grouped
+// into runs of adjacent messages on the same (From,To) link and each run
+// longer than one becomes a single batch frame — one header, one length
+// prefix, one receiver dispatch for the whole run. Grouping only adjacent
+// same-link messages is what keeps per-link FIFO trivially intact: the
+// wire carries exactly the enqueue order, just with fewer frame
+// boundaries. counts[i] is how many messages bufs[i] carries, so drops
+// stay message-accurate.
+func (p *peer) pack(entries []outEntry) (bufs [][]byte, counts []int) {
+	bufs = make([][]byte, 0, len(entries))
+	counts = make([]int, 0, len(entries))
+	for i := 0; i < len(entries); {
+		e := entries[i]
+		if e.frame != nil {
+			bufs = append(bufs, e.frame)
+			counts = append(counts, 1)
+			i++
+			continue
+		}
+		j, bytes := i+1, len(e.item)
+		for j < len(entries) && j-i < coalesceMaxMsgs {
+			n := entries[j]
+			if n.frame != nil || n.from != e.from || n.to != e.to || bytes+len(n.item) > coalesceMaxBytes {
+				break
+			}
+			bytes += len(n.item)
+			j++
+		}
+		if j == i+1 {
+			bufs = append(bufs, p.t.encodeSingleFrame(e))
+		} else {
+			bufs = append(bufs, p.t.encodeBatchFrame(entries[i:j]))
+		}
+		counts = append(counts, j-i)
+		i = j
+	}
+	p.t.frames.Add(uint64(len(bufs)))
+	return bufs, counts
 }
 
 // writeBatch writes the frames in one vectored write per attempt,
@@ -118,12 +207,13 @@ func (p *peer) run() {
 // resets it — so a connection flapping during a large drain keeps its
 // per-frame resilience (the old one-write-per-frame loop redialed per
 // frame) instead of shedding the whole remainder on the second break.
-// Returns how many frames were dropped. Recovery is frame-granular: a
-// frame the broken connection accepted only partially is resent whole on
-// the fresh one — its receiver died with the connection, so no duplicate
-// can reach a live reader (and the per-link sequence watermark would
-// discard one anyway).
-func (p *peer) writeBatch(batch [][]byte) int {
+// counts[i] is the message count of batch[i]; the return value is how
+// many MESSAGES were dropped. Recovery is frame-granular: a frame the
+// broken connection accepted only partially is resent whole on the fresh
+// one — its receiver died with the connection, so no duplicate can reach
+// a live reader (and the per-link sequence watermark would discard one
+// anyway).
+func (p *peer) writeBatch(batch [][]byte, counts []int) int {
 	redial := false
 	for noProgress := 0; len(batch) > 0 && noProgress < 2; noProgress++ {
 		conn := p.ensureConn(redial)
@@ -142,6 +232,7 @@ func (p *peer) writeBatch(batch [][]byte) int {
 		for n > 0 && len(batch) > 0 && int64(len(batch[0])) <= n {
 			n -= int64(len(batch[0]))
 			batch = batch[1:]
+			counts = counts[1:]
 			progressed = true
 		}
 		if progressed {
@@ -149,7 +240,11 @@ func (p *peer) writeBatch(batch [][]byte) int {
 		}
 		p.dropConn(conn)
 	}
-	return len(batch)
+	dropped := 0
+	for _, c := range counts {
+		dropped += c
+	}
+	return dropped
 }
 
 // ensureConn returns the live connection, dialing if absent. fresh forces

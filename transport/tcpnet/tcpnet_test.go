@@ -65,11 +65,11 @@ func TestDeliverDropsStaleSeq(t *testing.T) {
 	// watermark behavior is observable deterministically.
 	q := &linkQueue{t: tr, last: make(map[uint64]uint64)}
 	const epoch = 100
-	q.deliver(inFrame{epoch, 1, msg(1)})
-	q.deliver(inFrame{epoch, 2, msg(2)})
-	q.deliver(inFrame{epoch, 2, msg(2)}) // duplicate: dropped
-	q.deliver(inFrame{epoch, 1, msg(1)}) // stale replay from the broken conn: dropped
-	q.deliver(inFrame{epoch, 3, msg(3)})
+	q.deliver(inFrame{epoch: epoch, seq: 1, msg: msg(1)})
+	q.deliver(inFrame{epoch: epoch, seq: 2, msg: msg(2)})
+	q.deliver(inFrame{epoch: epoch, seq: 2, msg: msg(2)}) // duplicate: dropped
+	q.deliver(inFrame{epoch: epoch, seq: 1, msg: msg(1)}) // stale replay from the broken conn: dropped
+	q.deliver(inFrame{epoch: epoch, seq: 3, msg: msg(3)})
 
 	want := []uint64{1, 2, 3}
 	if len(seen) != len(want) {
@@ -106,12 +106,12 @@ func TestDeliverKeepsWatermarksPerEpoch(t *testing.T) {
 		return transport.Message{From: "src", To: "dst", Kind: "k", Payload: []byte(s)}
 	}
 	q := &linkQueue{t: tr, last: make(map[uint64]uint64)}
-	q.deliver(inFrame{200, 1, msg("old-1")})
-	q.deliver(inFrame{200, 2, msg("old-2")})
-	q.deliver(inFrame{100, 1, msg("new-1")}) // restart, clock stepped back: must deliver
-	q.deliver(inFrame{200, 2, msg("old-2")}) // replay within old incarnation: dropped
-	q.deliver(inFrame{100, 2, msg("new-2")})
-	q.deliver(inFrame{100, 1, msg("new-1")}) // replay within new incarnation: dropped
+	q.deliver(inFrame{epoch: 200, seq: 1, msg: msg("old-1")})
+	q.deliver(inFrame{epoch: 200, seq: 2, msg: msg("old-2")})
+	q.deliver(inFrame{epoch: 100, seq: 1, msg: msg("new-1")}) // restart, clock stepped back: must deliver
+	q.deliver(inFrame{epoch: 200, seq: 2, msg: msg("old-2")}) // replay within old incarnation: dropped
+	q.deliver(inFrame{epoch: 100, seq: 2, msg: msg("new-2")})
+	q.deliver(inFrame{epoch: 100, seq: 1, msg: msg("new-1")}) // replay within new incarnation: dropped
 
 	want := []string{"old-1", "old-2", "new-1", "new-2"}
 	if len(seen) != len(want) {

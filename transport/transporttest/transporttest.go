@@ -55,6 +55,7 @@ func Run(t *testing.T, factory func(t *testing.T) *Deployment) {
 	}
 	sub("DeliveryFidelity", testDeliveryFidelity)
 	sub("PerLinkFIFO", testPerLinkFIFO)
+	sub("BurstFIFOFidelity", testBurstFIFOFidelity)
 	sub("UnknownAddr", testUnknownAddr)
 	sub("DeregisterThenSend", testDeregisterThenSend)
 	sub("CloseSemantics", testCloseSemantics)
@@ -105,6 +106,85 @@ func testPerLinkFIFO(t *testing.T, d *Deployment) {
 			}
 		case <-deadline:
 			t.Fatalf("timed out at seq %d/%d", want, n)
+		}
+	}
+}
+
+// testBurstFIFOFidelity hammers several interleaved links with dense
+// back-to-back bursts of mixed-size payloads — the traffic shape that
+// triggers frame coalescing in backends that support it — and requires
+// per-link FIFO and byte-perfect fidelity to survive it. Interleaving the
+// links from one sender forces a coalescing writer to break and restart
+// runs mid-drain; the oversized payloads force it to mix batch and plain
+// frames on one link. Backends without coalescing get a plain stress test
+// of the same contract.
+func testBurstFIFOFidelity(t *testing.T, d *Deployment) {
+	const (
+		links = 3
+		n     = 300
+	)
+	sender, receiver := d.Endpoint(0), d.Endpoint(1)
+	type rec struct {
+		link, seq int
+		size      int
+	}
+	got := make(chan rec, links*n)
+	for l := 0; l < links; l++ {
+		l := l
+		receiver.Register(transport.Addr(fmt.Sprintf("conf/burst-dst-%d", l)), func(m transport.Message) {
+			if len(m.Payload) < 4 {
+				t.Errorf("link %d: runt payload %v", l, m.Payload)
+				return
+			}
+			seq := int(m.Payload[0])<<8 | int(m.Payload[1])
+			size := int(m.Payload[2])<<8 | int(m.Payload[3])
+			if size != len(m.Payload) {
+				t.Errorf("link %d seq %d: payload says %d bytes, got %d", l, seq, size, len(m.Payload))
+			}
+			for i := 4; i < len(m.Payload); i++ {
+				if m.Payload[i] != byte(seq) {
+					t.Errorf("link %d seq %d: filler corrupted at %d", l, seq, i)
+					break
+				}
+			}
+			got <- rec{link: l, seq: seq, size: len(m.Payload)}
+		})
+	}
+	for l := 0; l < links; l++ {
+		sender.Register(transport.Addr(fmt.Sprintf("conf/burst-src-%d", l)), func(transport.Message) {})
+	}
+
+	// Sizes cycle from tiny through a payload large enough that any
+	// reasonable coalescing byte cap splits or bypasses a run around it.
+	sizes := []int{4, 16, 900, 4, 60000, 4, 2048}
+	for seq := 0; seq < n; seq++ {
+		for l := 0; l < links; l++ {
+			size := sizes[(seq+l)%len(sizes)]
+			p := make([]byte, size)
+			p[0], p[1] = byte(seq>>8), byte(seq)
+			p[2], p[3] = byte(size>>8), byte(size)
+			for i := 4; i < size; i++ {
+				p[i] = byte(seq)
+			}
+			from := transport.Addr(fmt.Sprintf("conf/burst-src-%d", l))
+			to := transport.Addr(fmt.Sprintf("conf/burst-dst-%d", l))
+			if err := sender.Send(from, to, "burst", p); err != nil {
+				t.Fatalf("Send link %d seq %d: %v", l, seq, err)
+			}
+		}
+	}
+
+	want := make([]int, links) // next expected seq per link
+	deadline := time.After(waitTimeout)
+	for received := 0; received < links*n; received++ {
+		select {
+		case r := <-got:
+			if r.seq != want[r.link] {
+				t.Fatalf("link %d: delivered seq %d (size %d), want %d", r.link, r.seq, r.size, want[r.link])
+			}
+			want[r.link]++
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d deliveries (per-link progress %v)", received, links*n, want)
 		}
 	}
 }
